@@ -1,0 +1,130 @@
+// Command quasar-sim runs an ad-hoc cluster-management scenario: it builds
+// a cluster, submits a workload mix, and reports per-workload performance
+// against targets plus cluster utilization under the selected manager.
+//
+// Example:
+//
+//	quasar-sim -manager quasar -cluster local40 -hadoop 6 -services 4 \
+//	           -single 40 -besteffort 60 -horizon 20000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quasar/internal/core"
+	"quasar/internal/experiments"
+	"quasar/internal/loadgen"
+	"quasar/internal/perfmodel"
+	"quasar/internal/workload"
+)
+
+func main() {
+	var (
+		managerName = flag.String("manager", "quasar", "quasar | reservation-ll | reservation-paragon | framework | autoscale | mesos-drf")
+		clusterName = flag.String("cluster", "local40", "local40 | ec2x200")
+		hadoop      = flag.Int("hadoop", 4, "Hadoop jobs to submit")
+		spark       = flag.Int("spark", 2, "Spark jobs")
+		storm       = flag.Int("storm", 2, "Storm jobs")
+		services    = flag.Int("services", 3, "latency-critical services")
+		single      = flag.Int("single", 20, "single-node batch jobs")
+		bestEffort  = flag.Int("besteffort", 40, "best-effort fillers")
+		horizon     = flag.Float64("horizon", 20000, "simulated seconds to run")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
+		verbose     = flag.Bool("v", false, "per-workload detail")
+	)
+	flag.Parse()
+
+	kind := map[string]experiments.ManagerKind{
+		"quasar":              experiments.KindQuasar,
+		"reservation-ll":      experiments.KindReservationLL,
+		"reservation-paragon": experiments.KindReservationParagon,
+		"framework":           experiments.KindFrameworkSelf,
+		"autoscale":           experiments.KindAutoscale,
+		"mesos-drf":           experiments.KindMesosDRF,
+	}[*managerName]
+	cl := experiments.Local40
+	if *clusterName == "ec2x200" {
+		cl = experiments.EC2x200
+	}
+
+	s, err := experiments.NewScenario(experiments.ScenarioConfig{
+		Cluster: cl, Manager: kind, Seed: *seed, MaxNodes: 4, SeedLib: 3, Misestimate: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	var tasks []*core.Task
+	at := 0.0
+	submit := func(spec workload.Spec, load loadgen.Pattern) {
+		w := s.U.New(spec)
+		if load == nil && w.Type.Class() == perfmodel.LatencyCritical {
+			load = loadgen.Fluctuating{Min: 0.4 * w.Target.QPS, Max: 0.9 * w.Target.QPS, Period: 6000}
+		}
+		tasks = append(tasks, s.RT.Submit(w, at, load))
+		at += 5
+	}
+	for i := 0; i < *hadoop; i++ {
+		submit(workload.Spec{Type: workload.Hadoop, Family: i % 3, MaxNodes: 3, TargetSlack: 1.2,
+			Dataset: workload.Dataset{Name: "sim", SizeGB: 20, WorkMult: 1.5, MemMult: 1}}, nil)
+	}
+	for i := 0; i < *spark; i++ {
+		submit(workload.Spec{Type: workload.Spark, Family: i % 3, MaxNodes: 3, TargetSlack: 1.2,
+			Dataset: workload.Dataset{Name: "sim", SizeGB: 20, WorkMult: 4, MemMult: 1}}, nil)
+	}
+	for i := 0; i < *storm; i++ {
+		submit(workload.Spec{Type: workload.Storm, Family: i % 3, MaxNodes: 3, TargetSlack: 1.2,
+			Dataset: workload.Dataset{Name: "sim", SizeGB: 20, WorkMult: 6, MemMult: 1}}, nil)
+	}
+	svcTypes := []workload.Type{workload.Webserver, workload.Memcached, workload.Cassandra}
+	for i := 0; i < *services; i++ {
+		submit(workload.Spec{Type: svcTypes[i%3], Family: -1, MaxNodes: 3}, nil)
+	}
+	for i := 0; i < *single; i++ {
+		submit(workload.Spec{Type: workload.SingleNode, Family: -1, TargetSlack: 1.3}, nil)
+	}
+	for i := 0; i < *bestEffort; i++ {
+		submit(workload.Spec{Type: workload.SingleNode, Family: -1, BestEffort: true}, nil)
+	}
+
+	s.RT.Run(*horizon)
+	s.RT.Stop()
+
+	fmt.Printf("manager=%s cluster=%s horizon=%.0fs workloads=%d\n",
+		s.Mgr.Name(), *clusterName, *horizon, len(tasks))
+	byStatus := map[core.Status]int{}
+	sum, n := 0.0, 0
+	for _, t := range tasks {
+		byStatus[t.Status]++
+		if t.W.BestEffort {
+			continue
+		}
+		v := experiments.PerfNormalizedToTarget(s.RT, t)
+		if v != v {
+			continue
+		}
+		if *verbose {
+			fmt.Printf("  %-20s %-12s %-10s perf=%.2f nodes=%d\n",
+				t.W.ID, t.W.Type, t.Status, v, t.NumNodes())
+		}
+		if v > 1 {
+			v = 1
+		}
+		sum += v
+		n++
+	}
+	fmt.Printf("statuses: ")
+	for st := core.StatusQueued; st <= core.StatusRejected; st++ {
+		if byStatus[st] > 0 {
+			fmt.Printf("%s=%d ", st, byStatus[st])
+		}
+	}
+	fmt.Println()
+	if n > 0 {
+		fmt.Printf("mean %% of target achieved: %.1f%%\n", 100*sum/float64(n))
+	}
+	fmt.Printf("mean CPU utilization: %.1f%%\n", 100*s.RT.CPUHeat.MeanOverall())
+}

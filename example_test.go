@@ -1,0 +1,37 @@
+package quasar_test
+
+import (
+	"fmt"
+
+	"quasar"
+)
+
+// Example demonstrates the performance-target interface end to end: build
+// the paper's 40-server cluster, seed the manager's classification library,
+// submit a Hadoop job with an execution-time target, and let Quasar size,
+// place, and adapt the allocation.
+func Example() {
+	cl, err := quasar.NewLocalCluster()
+	if err != nil {
+		panic(err)
+	}
+	rt := quasar.NewRuntime(cl, quasar.RuntimeOptions{TickSecs: 5, Seed: 1})
+	u := quasar.NewUniverse(cl.Platforms, 1, 3)
+	mgr := quasar.NewManager(rt, quasar.DefaultManagerOptions())
+	mgr.SeedLibrary(quasar.Library(u, 2))
+	rt.SetManager(mgr)
+
+	job := u.New(quasar.Spec{
+		Type: quasar.Hadoop, Family: 0, MaxNodes: 4, TargetSlack: 1.3,
+		Dataset: quasar.Dataset{Name: "example", SizeGB: 10, WorkMult: 1, MemMult: 1},
+	})
+	task := rt.Submit(job, 0, nil)
+	rt.Run(job.Target.CompletionSecs * 2)
+	rt.Stop()
+
+	fmt.Println("completed:", task.Status == quasar.StatusCompleted)
+	fmt.Println("met target:", task.DoneAt-task.SubmitAt <= job.Target.CompletionSecs)
+	// Output:
+	// completed: true
+	// met target: true
+}

@@ -1,0 +1,88 @@
+// Datacenter: the §6.5 cloud-provider scenario in miniature — a mixed
+// stream of batch jobs, latency-critical services, and single-node
+// workloads on the 200-server EC2 cluster, with per-class outcome
+// statistics and the allocated-vs-used gap that reservations create.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quasar"
+)
+
+func main() {
+	cl, err := quasar.NewEC2Cluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := quasar.NewRuntime(cl, quasar.RuntimeOptions{TickSecs: 10, SampleSecs: 120, Seed: 42})
+	u := quasar.NewUniverse(cl.Platforms, 42, 3)
+	mgr := quasar.NewManager(rt, quasar.DefaultManagerOptions())
+	mgr.SeedLibrary(quasar.Library(u, 3))
+	rt.SetManager(mgr)
+
+	// 200 workloads, 1 s inter-arrival, all with equal priority.
+	var tasks []*quasar.Task
+	for i := 0; i < 200; i++ {
+		var spec quasar.Spec
+		switch {
+		case i%10 < 5:
+			spec = quasar.Spec{Type: quasar.SingleNode, Family: -1, TargetSlack: 1.3}
+		case i%10 < 8:
+			spec = quasar.Spec{Type: quasar.Hadoop, Family: i % 3, MaxNodes: 2, TargetSlack: 1.4,
+				Dataset: quasar.Dataset{Name: "dc", SizeGB: 15, WorkMult: 0.5, MemMult: 1}}
+		default:
+			spec = quasar.Spec{Type: quasar.Webserver, Family: -1, MaxNodes: 2}
+		}
+		w := u.New(spec)
+		var load quasar.LoadPattern
+		if w.Type == quasar.Webserver {
+			load = quasar.FluctuatingLoad{Min: 0.4 * w.Target.QPS, Max: 0.9 * w.Target.QPS, Period: 5000}
+		}
+		tasks = append(tasks, rt.Submit(w, float64(i), load))
+	}
+
+	rt.Run(12000)
+	rt.Stop()
+
+	type stats struct {
+		n, done int
+		perf    float64
+	}
+	byType := map[string]*stats{}
+	for _, t := range tasks {
+		st := byType[t.W.Type.String()]
+		if st == nil {
+			st = &stats{}
+			byType[t.W.Type.String()] = st
+		}
+		st.n++
+		if t.Status == quasar.StatusCompleted {
+			st.done++
+		}
+		// Normalized performance: >= 1 means the target was met.
+		switch {
+		case t.W.Type == quasar.Webserver:
+			st.perf += t.QoSFrac.MeanBetween(600, 12000)
+		case t.Status == quasar.StatusCompleted:
+			v := t.W.Target.CompletionSecs / (t.DoneAt - t.SubmitAt)
+			if t.W.Type == quasar.SingleNode {
+				v = (t.Progress / (t.DoneAt - t.StartAt)) / t.W.Target.IPS
+			}
+			if v > 1 {
+				v = 1
+			}
+			st.perf += v
+		}
+	}
+	fmt.Printf("%-12s %5s %5s %16s\n", "type", "n", "done", "mean %% of target")
+	for _, name := range []string{"single-node", "hadoop", "webserver"} {
+		st := byType[name]
+		if st == nil {
+			continue
+		}
+		fmt.Printf("%-12s %5d %5d %15.1f%%\n", name, st.n, st.done, 100*st.perf/float64(st.n))
+	}
+	fmt.Printf("mean CPU utilization: %.1f%%\n", 100*rt.CPUHeat.MeanOverall())
+}

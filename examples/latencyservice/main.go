@@ -1,0 +1,57 @@
+// Latency service: run a memcached-like service with a QPS + tail-latency
+// target under fluctuating traffic, alongside a stream of best-effort batch
+// fillers. Quasar scales the service with the load (up at growth, reclaim
+// when idle) while keeping the fillers from interfering with it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quasar"
+)
+
+func main() {
+	cl, err := quasar.NewLocalCluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := quasar.NewRuntime(cl, quasar.RuntimeOptions{TickSecs: 5, SampleSecs: 60, Seed: 7})
+	u := quasar.NewUniverse(cl.Platforms, 7, 3)
+	mgr := quasar.NewManager(rt, quasar.DefaultManagerOptions())
+	mgr.SeedLibrary(quasar.Library(u, 3))
+	rt.SetManager(mgr)
+
+	// A memcached-like service. The generator derives a feasible QPS
+	// target and a tail-latency bound near the latency curve's knee.
+	svc := u.New(quasar.Spec{Type: quasar.Memcached, Family: 0, MaxNodes: 8})
+	fmt.Printf("service %s: target %.0f kQPS at p99 <= %.0fus\n",
+		svc.ID, svc.Target.QPS/1000, svc.Target.LatencyUS)
+
+	// Offered load swings between 30%% and 100%% of the target over a
+	// 2-hour period.
+	load := quasar.FluctuatingLoad{
+		Min: 0.3 * svc.Target.QPS, Max: svc.Target.QPS, Period: 7200,
+	}
+	task := rt.Submit(svc, 0, load)
+
+	// Best-effort single-node fillers arrive every 60 s and soak up
+	// whatever the service leaves idle.
+	for i := 0; i < 200; i++ {
+		be := u.New(quasar.Spec{Type: quasar.SingleNode, Family: -1, BestEffort: true})
+		rt.Submit(be, float64(i)*60, nil)
+	}
+
+	const horizon = 4 * 3600
+	for t := 1800.0; t <= horizon; t += 1800 {
+		rt.Run(t)
+		fmt.Printf("t=%5.0fm offered=%6.0f kQPS achieved=%6.0f kQPS p99=%5.0fus nodes=%d cores=%d\n",
+			t/60, task.LastOfferedQPS/1000, task.LastAchievedQPS/1000,
+			task.LastP99US, task.NumNodes(), task.TotalCores())
+	}
+	rt.Stop()
+
+	qos := task.QoSFrac.MeanBetween(600, horizon)
+	fmt.Printf("QoS met for %.1f%% of the run (latency bound %.0fus)\n", 100*qos, svc.Target.LatencyUS)
+	fmt.Printf("mean cluster CPU utilization: %.1f%%\n", 100*rt.CPUHeat.MeanOverall())
+}

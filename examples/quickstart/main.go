@@ -1,0 +1,75 @@
+// Quickstart: submit one Hadoop-style analytics job with an execution-time
+// target to a Quasar-managed 40-server cluster and watch Quasar size,
+// place, and adapt its allocation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quasar"
+)
+
+func main() {
+	// The paper's local testbed: 40 servers over platforms A-J.
+	cl, err := quasar.NewLocalCluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := quasar.NewRuntime(cl, quasar.RuntimeOptions{TickSecs: 5, SampleSecs: 60, Seed: 1})
+
+	// Deterministic workload generator over the cluster's platforms.
+	u := quasar.NewUniverse(cl.Platforms, 1, 3)
+
+	// The Quasar manager, seeded with an offline-profiled library so its
+	// collaborative-filtering classifier has something to relate new
+	// workloads to.
+	mgr := quasar.NewManager(rt, quasar.DefaultManagerOptions())
+	mgr.SeedLibrary(quasar.Library(u, 3))
+	rt.SetManager(mgr)
+
+	// A Hadoop job over a 20 GB dataset. The target is derived from an
+	// oracle parameter sweep (the best achievable on up to 4 nodes),
+	// relaxed by 20% — the user expresses *performance*, never resources.
+	job := u.New(quasar.Spec{
+		Type:        quasar.Hadoop,
+		Family:      0,
+		Dataset:     quasar.Dataset{Name: "demo", SizeGB: 20, WorkMult: 2, MemMult: 1},
+		MaxNodes:    4,
+		TargetSlack: 1.2,
+	})
+	fmt.Printf("submitting %s: execution-time target %.0fs\n",
+		job.ID, job.Target.CompletionSecs)
+
+	task := rt.Submit(job, 0, nil)
+
+	// Run simulated time until the job completes (or give up after 6 h).
+	for t := 300.0; t < 6*3600; t += 300 {
+		rt.Run(t)
+		if task.Status == quasar.StatusCompleted {
+			break
+		}
+		fmt.Printf("t=%5.0fs status=%-10s nodes=%d cores=%d progress=%4.0f%%\n",
+			t, task.Status, task.NumNodes(), task.TotalCores(),
+			100*rt.ProgressFraction(task))
+	}
+	rt.Stop()
+
+	if task.Status != quasar.StatusCompleted {
+		log.Fatalf("job did not complete: %v", task.Status)
+	}
+	elapsed := task.DoneAt - task.SubmitAt
+	fmt.Printf("completed in %.0fs (target %.0fs, %.1f%% %s)\n",
+		elapsed, job.Target.CompletionSecs,
+		100*abs(elapsed-job.Target.CompletionSecs)/job.Target.CompletionSecs,
+		map[bool]string{true: "early", false: "late"}[elapsed <= job.Target.CompletionSecs])
+	fmt.Printf("tuned framework config: %d mappers/node, %.2f GB heap, %s compression\n",
+		job.Config.MappersPerNode, job.Config.HeapsizeGB, job.Config.Compression)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module quasar
+
+go 1.22

@@ -1,0 +1,99 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"quasar/internal/cluster"
+	"quasar/internal/core"
+	"quasar/internal/workload"
+)
+
+func drfFixture(t testing.TB, seed int64) (*core.Runtime, *DRF, *workload.Universe) {
+	t.Helper()
+	platforms := cluster.LocalPlatforms()
+	cl, err := cluster.New(platforms, []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(cl, core.Options{TickSecs: 5, Seed: seed})
+	u := workload.NewUniverse(platforms, seed+1, 3)
+	d := NewDRF(rt, false, 8)
+	rt.SetManager(d)
+	return rt, d, u
+}
+
+func TestDRFPlacesWorkloads(t *testing.T) {
+	rt, _, u := drfFixture(t, 3)
+	w := u.New(workload.Spec{Type: workload.Hadoop, Family: -1, MaxNodes: 4, TargetSlack: 1.3})
+	task := rt.Submit(w, 0, nil)
+	rt.Run(60)
+	rt.Stop()
+	if task.Status != core.StatusRunning && task.Status != core.StatusCompleted {
+		t.Fatalf("status %v", task.Status)
+	}
+	if task.NumNodes() < 1 {
+		t.Fatal("no nodes")
+	}
+}
+
+func TestDRFSharesFairly(t *testing.T) {
+	// Two identical heavy demanders should end with near-equal dominant
+	// shares.
+	rt, d, u := drfFixture(t, 5)
+	w1 := u.New(workload.Spec{Type: workload.Hadoop, Family: 0, MaxNodes: 8, TargetSlack: 1.3})
+	w2 := u.New(workload.Spec{Type: workload.Hadoop, Family: 0, MaxNodes: 8, TargetSlack: 1.3})
+	w1.Genome.Work = 1e9
+	w2.Genome.Work = 1e9
+	rt.Submit(w1, 0, nil)
+	rt.Submit(w2, 1, nil)
+	rt.Run(300)
+	rt.Stop()
+	s1 := d.dominantShare(d.state[w1.ID])
+	s2 := d.dominantShare(d.state[w2.ID])
+	if s1 == 0 || s2 == 0 {
+		t.Fatalf("shares zero: %v %v", s1, s2)
+	}
+	if math.Abs(s1-s2)/math.Max(s1, s2) > 0.5 {
+		t.Fatalf("shares unfair: %.3f vs %.3f", s1, s2)
+	}
+}
+
+func TestDRFDoesNotOvercommit(t *testing.T) {
+	rt, _, u := drfFixture(t, 7)
+	for i := 0; i < 60; i++ {
+		w := u.New(workload.Spec{Type: workload.SingleNode, Family: -1, TargetSlack: 1.3})
+		w.Genome.Work = 1e9
+		rt.Submit(w, float64(i), nil)
+	}
+	rt.Run(300)
+	rt.Stop()
+	for _, srv := range rt.Cl.Servers {
+		if srv.UsedCores() > srv.Platform.Cores {
+			t.Fatalf("server %d overcommitted", srv.ID)
+		}
+	}
+}
+
+func TestDRFFavorsLowShare(t *testing.T) {
+	// A workload holding a lot should yield the next grant to a newcomer.
+	rt, d, u := drfFixture(t, 9)
+	big := u.New(workload.Spec{Type: workload.Hadoop, Family: 0, MaxNodes: 8, TargetSlack: 1.3})
+	big.Genome.Work = 1e9
+	rt.Submit(big, 0, nil)
+	rt.Run(100)
+	newcomer := u.New(workload.Spec{Type: workload.Hadoop, Family: 1, MaxNodes: 8, TargetSlack: 1.3})
+	newcomer.Genome.Work = 1e9
+	task := rt.Submit(newcomer, 110, nil)
+	rt.Run(200)
+	rt.Stop()
+	if task.NumNodes() == 0 {
+		t.Fatal("newcomer starved despite DRF")
+	}
+	sBig := d.dominantShare(d.state[big.ID])
+	sNew := d.dominantShare(d.state[newcomer.ID])
+	// The newcomer should have caught up to within a slice.
+	if sNew < sBig*0.3 {
+		t.Fatalf("newcomer share %.3f far below incumbent %.3f", sNew, sBig)
+	}
+}

@@ -1,0 +1,298 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configures PQ-reconstruction. The defaults follow the paper: a
+// simple latent-factor model r̂_ui = µ + b_u + q_i·p_u trained by SGD with
+// learning rate η and regularization λ, initialized from the SVD of the
+// mean-imputed matrix (Pᵀ ← ΣVᵀ, Q ← U), iterating until the L2 norm of the
+// prediction error becomes marginal.
+type Options struct {
+	K       int     // number of latent factors
+	Eta     float64 // SGD learning rate
+	Lambda  float64 // regularization factor
+	Epochs  int     // maximum SGD epochs
+	Tol     float64 // stop when relative RMSE improvement falls below Tol
+	Seed    int64   // RNG seed for entry-order shuffling
+	ItemBia bool    // also learn per-column (item) bias b_i
+}
+
+// DefaultOptions returns the options used by the classification engine.
+func DefaultOptions() Options {
+	return Options{K: 4, Eta: 0.05, Lambda: 0.02, Epochs: 500, Tol: 1e-6, Seed: 1, ItemBia: true}
+}
+
+// Model is a trained latent-factor model over a sparse matrix.
+type Model struct {
+	K      int
+	Mu     float64
+	BU     []float64 // row (user) biases
+	BI     []float64 // column (item) biases
+	P      *Dense    // row factors, Rows×K
+	Q      *Dense    // column factors, Cols×K
+	Lambda float64
+}
+
+// Train fits a latent-factor model to the observed entries of s.
+func Train(s *Sparse, opts Options) *Model {
+	k := opts.K
+	if k <= 0 {
+		k = DefaultOptions().K
+	}
+	if k > s.Cols {
+		k = s.Cols
+	}
+	if k > s.Rows {
+		k = s.Rows
+	}
+	if k < 1 {
+		k = 1
+	}
+	m := &Model{
+		K:      k,
+		Mu:     s.Mean(),
+		BU:     make([]float64, s.Rows),
+		BI:     make([]float64, s.Cols),
+		P:      NewDense(s.Rows, k),
+		Q:      NewDense(s.Cols, k),
+		Lambda: opts.Lambda,
+	}
+	m.initFromSVD(s)
+
+	var entries []obsEntry
+	for u := 0; u < s.Rows; u++ {
+		for i, v := range s.Row(u) {
+			entries = append(entries, obsEntry{u, i, v})
+		}
+	}
+	if len(entries) == 0 {
+		return m
+	}
+	// Deterministic entry order before shuffling.
+	sortObs(entries)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	prevRMSE := math.Inf(1)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
+		sse := 0.0
+		for _, e := range entries {
+			pred := m.Predict(e.u, e.i)
+			err := e.v - pred
+			sse += err * err
+			m.BU[e.u] += opts.Eta * (err - opts.Lambda*m.BU[e.u])
+			if opts.ItemBia {
+				m.BI[e.i] += opts.Eta * (err - opts.Lambda*m.BI[e.i])
+			}
+			for f := 0; f < k; f++ {
+				pu := m.P.At(e.u, f)
+				qi := m.Q.At(e.i, f)
+				m.P.Set(e.u, f, pu+opts.Eta*(err*qi-opts.Lambda*pu))
+				m.Q.Set(e.i, f, qi+opts.Eta*(err*pu-opts.Lambda*qi))
+			}
+		}
+		rmse := math.Sqrt(sse / float64(len(entries)))
+		if prevRMSE-rmse < opts.Tol*prevRMSE {
+			break
+		}
+		prevRMSE = rmse
+	}
+	return m
+}
+
+type obsEntry struct {
+	u, i int
+	v    float64
+}
+
+// sortObs orders entries deterministically (row-major) so training is
+// reproducible regardless of map iteration order.
+func sortObs(entries []obsEntry) {
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].u != entries[b].u {
+			return entries[a].u < entries[b].u
+		}
+		return entries[a].i < entries[b].i
+	})
+}
+
+// initFromSVD seeds P and Q from the SVD of the mean-imputed dense matrix,
+// per the paper: missing entries are filled with µ (+biases), SVD is
+// computed, and Q ← U·sqrt(Σ), Pᵀ ← sqrt(Σ)·Vᵀ so that Q·Pᵀ reproduces the
+// imputed matrix's low-rank structure. (The paper assigns Q ← U, Pᵀ ← ΣVᵀ;
+// splitting Σ symmetrically conditions SGD better and is equivalent up to a
+// diagonal rescaling.)
+func (m *Model) initFromSVD(s *Sparse) {
+	if s.Rows == 0 || s.Cols == 0 {
+		return
+	}
+	dense := NewDense(s.Rows, s.Cols)
+	for u := 0; u < s.Rows; u++ {
+		for i := 0; i < s.Cols; i++ {
+			if v, ok := s.Get(u, i); ok {
+				dense.Set(u, i, v-m.Mu)
+			}
+		}
+	}
+	svd := ComputeSVD(dense).Truncate(m.K)
+	for u := 0; u < s.Rows; u++ {
+		for f := 0; f < m.K && f < len(svd.S); f++ {
+			m.P.Set(u, f, svd.U.At(u, f)*math.Sqrt(svd.S[f]))
+		}
+	}
+	for i := 0; i < s.Cols; i++ {
+		for f := 0; f < m.K && f < len(svd.S); f++ {
+			m.Q.Set(i, f, svd.V.At(i, f)*math.Sqrt(svd.S[f]))
+		}
+	}
+}
+
+// Predict returns r̂_ui = µ + b_u + b_i + q_i·p_u.
+func (m *Model) Predict(u, i int) float64 {
+	s := m.Mu + m.BU[u] + m.BI[i]
+	for f := 0; f < m.K; f++ {
+		s += m.P.At(u, f) * m.Q.At(i, f)
+	}
+	return s
+}
+
+// PredictRow returns the full reconstructed row u.
+func (m *Model) PredictRow(u int) []float64 {
+	out := make([]float64, m.Q.R)
+	for i := range out {
+		out[i] = m.Predict(u, i)
+	}
+	return out
+}
+
+// RMSE returns the root-mean-square error over the observed entries of s.
+func (m *Model) RMSE(s *Sparse) float64 {
+	sse, n := 0.0, 0
+	for u := 0; u < s.Rows && u < m.P.R; u++ {
+		for i, v := range s.Row(u) {
+			d := v - m.Predict(u, i)
+			sse += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sse / float64(n))
+}
+
+// FoldIn estimates the full row of a workload not present at training time
+// from its few observed entries, holding the trained column factors fixed.
+// It solves the ridge regression
+//
+//	min_{p,b} Σ_obs (v_i − µ − b − b_i − q_i·p)² + λ(‖p‖² + b²)
+//
+// which is the standard fold-in for latent-factor models and is what makes
+// per-arrival classification cost milliseconds instead of a full retrain.
+func (m *Model) FoldIn(obs map[int]float64) []float64 {
+	k := m.K
+	valid := 0
+	for i := range obs {
+		if i >= 0 && i < m.Q.R {
+			valid++
+		}
+	}
+	// Unknowns: [b, p_1..p_k].
+	dim := k + 1
+	a := make([][]float64, dim) // normal equations matrix
+	for i := range a {
+		a[i] = make([]float64, dim)
+		a[i][i] = m.Lambda * float64(max(1, valid))
+	}
+	b := make([]float64, dim)
+	// Deterministic iteration: float accumulation order must not depend on
+	// map order.
+	keys := make([]int, 0, len(obs))
+	for i := range obs {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	for _, i := range keys {
+		v := obs[i]
+		if i < 0 || i >= m.Q.R {
+			continue
+		}
+		// Feature vector x = [1, q_i].
+		x := make([]float64, dim)
+		x[0] = 1
+		for f := 0; f < k; f++ {
+			x[f+1] = m.Q.At(i, f)
+		}
+		y := v - m.Mu - m.BI[i]
+		for r := 0; r < dim; r++ {
+			for c := 0; c < dim; c++ {
+				a[r][c] += x[r] * x[c]
+			}
+			b[r] += x[r] * y
+		}
+	}
+	sol := solve(a, b)
+	bu, p := sol[0], sol[1:]
+	out := make([]float64, m.Q.R)
+	for i := range out {
+		s := m.Mu + bu + m.BI[i]
+		for f := 0; f < k; f++ {
+			s += p[f] * m.Q.At(i, f)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting on a·x = b.
+// The ridge term guarantees a is positive definite, so this never fails.
+func solve(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		d := a[col][col]
+		if d == 0 {
+			continue
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / d
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		if a[r][r] != 0 {
+			x[r] = s / a[r][r]
+		}
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package cf
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a (possibly truncated) singular value decomposition
+// A ≈ U · diag(S) · Vᵀ with U (m×k), S (k), V (n×k).
+type SVD struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// ComputeSVD decomposes the dense matrix A (m×n) with one-sided Jacobi
+// rotations. The method orthogonalizes the columns of a working copy of A;
+// at convergence the column norms are the singular values, the normalized
+// columns form U, and the accumulated rotations form V. It is exact (up to
+// tolerance), numerically robust, and well suited to the small dense
+// matrices of the classification engine (hundreds of rows, tens to ~100
+// columns).
+func ComputeSVD(a *Dense) *SVD {
+	m, n := a.R, a.C
+	// Column-major working copies for cache-friendly column ops.
+	w := make([][]float64, n) // w[j] is column j of A
+	v := make([][]float64, n) // v[j] is column j of V
+	for j := 0; j < n; j++ {
+		w[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			w[j][i] = a.At(i, j)
+		}
+		v[j] = make([]float64, n)
+		v[j][j] = 1
+	}
+
+	const (
+		tol       = 1e-10
+		maxSweeps = 60
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha, beta, gamma := 0.0, 0.0, 0.0
+				for i := 0; i < m; i++ {
+					alpha += w[p][i] * w[p][i]
+					beta += w[q][i] * w[q][i]
+					gamma += w[p][i] * w[q][i]
+				}
+				if alpha == 0 || beta == 0 {
+					continue
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off += gamma * gamma / (alpha * beta)
+				// Jacobi rotation zeroing the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := sign(zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					wp := w[p][i]
+					w[p][i] = c*wp - s*w[q][i]
+					w[q][i] = s*wp + c*w[q][i]
+				}
+				for i := 0; i < n; i++ {
+					vp := v[p][i]
+					v[p][i] = c*vp - s*v[q][i]
+					v[q][i] = s*vp + c*v[q][i]
+				}
+			}
+		}
+		if off < tol {
+			break
+		}
+	}
+
+	// Column norms are singular values; sort descending.
+	type col struct {
+		sigma float64
+		idx   int
+	}
+	cols := make([]col, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += w[j][i] * w[j][i]
+		}
+		cols[j] = col{math.Sqrt(s), j}
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].sigma > cols[j].sigma })
+
+	out := &SVD{U: NewDense(m, n), S: make([]float64, n), V: NewDense(n, n)}
+	for r, cinfo := range cols {
+		out.S[r] = cinfo.sigma
+		if cinfo.sigma > 0 {
+			inv := 1 / cinfo.sigma
+			for i := 0; i < m; i++ {
+				out.U.Set(i, r, w[cinfo.idx][i]*inv)
+			}
+		}
+		for i := 0; i < n; i++ {
+			out.V.Set(i, r, v[cinfo.idx][i])
+		}
+	}
+	return out
+}
+
+// Truncate keeps only the top-k singular triplets.
+func (d *SVD) Truncate(k int) *SVD {
+	if k >= len(d.S) {
+		return d
+	}
+	u := NewDense(d.U.R, k)
+	v := NewDense(d.V.R, k)
+	for i := 0; i < d.U.R; i++ {
+		for j := 0; j < k; j++ {
+			u.Set(i, j, d.U.At(i, j))
+		}
+	}
+	for i := 0; i < d.V.R; i++ {
+		for j := 0; j < k; j++ {
+			v.Set(i, j, d.V.At(i, j))
+		}
+	}
+	return &SVD{U: u, S: append([]float64(nil), d.S[:k]...), V: v}
+}
+
+// Reconstruct returns U · diag(S) · Vᵀ.
+func (d *SVD) Reconstruct() *Dense {
+	m, n, k := d.U.R, d.V.R, len(d.S)
+	out := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for r := 0; r < k; r++ {
+				s += d.U.At(i, r) * d.S[r] * d.V.At(j, r)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// Rank returns the number of singular values above eps relative to the
+// largest.
+func (d *SVD) Rank(eps float64) int {
+	if len(d.S) == 0 || d.S[0] == 0 {
+		return 0
+	}
+	r := 0
+	for _, s := range d.S {
+		if s > eps*d.S[0] {
+			r++
+		}
+	}
+	return r
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

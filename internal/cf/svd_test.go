@@ -1,0 +1,166 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomDense(r, c int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// lowRank builds an r×c matrix of rank k.
+func lowRank(r, c, k int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewDense(r, k)
+	b := NewDense(k, c)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	out := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			s := 0.0
+			for f := 0; f < k; f++ {
+				s += a.At(i, f) * b.At(f, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func maxAbsDiff(a, b *Dense) float64 {
+	d := 0.0
+	for i := range a.Data {
+		if x := math.Abs(a.Data[i] - b.Data[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestSVDReconstructsExactly(t *testing.T) {
+	for _, dims := range [][2]int{{5, 3}, {10, 10}, {30, 8}, {8, 20}} {
+		a := randomDense(dims[0], dims[1], 42)
+		svd := ComputeSVD(a)
+		if d := maxAbsDiff(a, svd.Reconstruct()); d > 1e-8 {
+			t.Fatalf("%v: reconstruction error %v", dims, d)
+		}
+	}
+}
+
+func TestSVDSingularValuesSorted(t *testing.T) {
+	svd := ComputeSVD(randomDense(20, 12, 7))
+	for i := 1; i < len(svd.S); i++ {
+		if svd.S[i] > svd.S[i-1]+1e-12 {
+			t.Fatalf("singular values not sorted: %v", svd.S)
+		}
+		if svd.S[i] < 0 {
+			t.Fatalf("negative singular value: %v", svd.S)
+		}
+	}
+}
+
+func TestSVDOrthonormalFactors(t *testing.T) {
+	svd := ComputeSVD(randomDense(25, 10, 3))
+	// U columns orthonormal.
+	for a := 0; a < 10; a++ {
+		for b := a; b < 10; b++ {
+			dot := 0.0
+			for i := 0; i < 25; i++ {
+				dot += svd.U.At(i, a) * svd.U.At(i, b)
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("UᵀU[%d,%d] = %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+	// V columns orthonormal.
+	for a := 0; a < 10; a++ {
+		for b := a; b < 10; b++ {
+			dot := 0.0
+			for i := 0; i < 10; i++ {
+				dot += svd.V.At(i, a) * svd.V.At(i, b)
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("VᵀV[%d,%d] = %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestSVDKnownMatrix(t *testing.T) {
+	// diag(3,2) has singular values 3,2.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 2)
+	svd := ComputeSVD(a)
+	if math.Abs(svd.S[0]-3) > 1e-10 || math.Abs(svd.S[1]-2) > 1e-10 {
+		t.Fatalf("singular values %v, want [3 2]", svd.S)
+	}
+}
+
+func TestSVDRankDetection(t *testing.T) {
+	a := lowRank(20, 15, 3, 5)
+	svd := ComputeSVD(a)
+	if r := svd.Rank(1e-9); r != 3 {
+		t.Fatalf("rank = %d, want 3; S=%v", r, svd.S[:6])
+	}
+}
+
+func TestSVDTruncateCapturesLowRank(t *testing.T) {
+	a := lowRank(20, 15, 3, 9)
+	svd := ComputeSVD(a).Truncate(3)
+	if len(svd.S) != 3 {
+		t.Fatalf("truncated to %d values", len(svd.S))
+	}
+	if d := maxAbsDiff(a, svd.Reconstruct()); d > 1e-8 {
+		t.Fatalf("rank-3 truncation of a rank-3 matrix lost %v", d)
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	svd := ComputeSVD(NewDense(4, 3))
+	for _, s := range svd.S {
+		if s != 0 {
+			t.Fatalf("zero matrix has singular value %v", s)
+		}
+	}
+	if svd.Rank(1e-9) != 0 {
+		t.Fatal("zero matrix has nonzero rank")
+	}
+}
+
+func TestMatMulT(t *testing.T) {
+	q := NewDense(2, 3)
+	p := NewDense(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			q.Set(i, j, float64(i*3+j+1))
+			p.Set(i, j, float64(i+j))
+		}
+	}
+	out := MatMulT(q, p)
+	// out[0][1] = row0(q)·row1(p) = 1*1+2*2+3*3 = 14
+	if out.At(0, 1) != 14 {
+		t.Fatalf("MatMulT wrong: %v", out.At(0, 1))
+	}
+}

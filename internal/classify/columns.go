@@ -1,0 +1,140 @@
+// Package classify implements Quasar's classification engine (§3.2): four
+// parallel collaborative-filtering classifications — scale-up, scale-out,
+// heterogeneity, and interference (tolerated and caused) — plus the single
+// exhaustive joint classification used as a comparison point in Table 2 and
+// Figure 3.
+//
+// Each classification maintains a workload-by-configuration matrix. Rows
+// accumulate as workloads are profiled; a small offline-profiled library
+// seeds the matrices with dense rows. An arriving workload contributes a
+// few profiling samples per axis; fold-in against the trained latent-factor
+// model reconstructs its full row in milliseconds.
+package classify
+
+import (
+	"fmt"
+	"math"
+
+	"quasar/internal/cluster"
+)
+
+// ScaleUpCol is one quantized scale-up configuration: cores and memory on
+// the profiling (highest-end) platform. Framework parameters are implied:
+// configured workloads are profiled with the tuned configuration for the
+// column's cores and memory (see TunedConfig).
+type ScaleUpCol struct {
+	Cores    int
+	MemoryGB float64
+}
+
+var coreGrid = []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 32}
+var memGrid = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+
+// ScaleUpColumns returns the quantized scale-up grid for the given
+// profiling platform ("we quantize the vectors to integer multiples of
+// cores and blocks of memory", §3.2).
+func ScaleUpColumns(p *cluster.Platform) []ScaleUpCol {
+	var out []ScaleUpCol
+	for _, c := range coreGrid {
+		if c > p.Cores {
+			continue
+		}
+		for _, m := range memGrid {
+			if m > p.MemoryGB {
+				continue
+			}
+			out = append(out, ScaleUpCol{Cores: c, MemoryGB: m})
+		}
+	}
+	return out
+}
+
+// NearestScaleUpCol returns the index of the column closest to the given
+// allocation (log-distance in both dimensions).
+func NearestScaleUpCol(cols []ScaleUpCol, alloc cluster.Alloc) int {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range cols {
+		d := math.Abs(math.Log(float64(c.Cores)/float64(alloc.Cores))) +
+			math.Abs(math.Log(c.MemoryGB/alloc.MemoryGB))
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// ScaleOutCounts returns the node-count column grid up to maxNodes. The
+// offline library is profiled densely over this grid ("exhaustively
+// profiled ... against node counts 1 to 100"); online workloads are only
+// profiled at one to four nodes.
+func ScaleOutCounts(maxNodes int) []int {
+	grid := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 80, 100}
+	var out []int
+	for _, n := range grid {
+		if n <= maxNodes {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// NearestCountIdx returns the index of the closest node-count column.
+func NearestCountIdx(counts []int, n int) int {
+	best, bestD := 0, math.MaxInt
+	for i, c := range counts {
+		d := c - n
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// JointCol is one column of the exhaustive classification: a full
+// allocation-assignment vector (platform, per-node scale-up, node count).
+type JointCol struct {
+	PlatformIdx int
+	CoreFrac    float64 // fraction of the platform's cores
+	Nodes       int
+}
+
+// JointColumns enumerates the exhaustive space. Its size is the product of
+// the individual spaces — the reason the paper's four parallel
+// classifications are both faster and (with very sparse input) more
+// accurate.
+func JointColumns(platforms []cluster.Platform, maxNodes int) []JointCol {
+	fracs := []float64{0.25, 0.5, 0.75, 1.0}
+	counts := ScaleOutCounts(maxNodes)
+	var out []JointCol
+	for pi := range platforms {
+		for _, f := range fracs {
+			if int(f*float64(platforms[pi].Cores)) < 1 {
+				continue
+			}
+			for _, n := range counts {
+				out = append(out, JointCol{PlatformIdx: pi, CoreFrac: f, Nodes: n})
+			}
+		}
+	}
+	return out
+}
+
+// Alloc returns the concrete per-node allocation of a joint column.
+func (c JointCol) Alloc(platforms []cluster.Platform) cluster.Alloc {
+	p := platforms[c.PlatformIdx]
+	cores := int(c.CoreFrac * float64(p.Cores))
+	if cores < 1 {
+		cores = 1
+	}
+	return cluster.Alloc{Cores: cores, MemoryGB: c.CoreFrac * p.MemoryGB}
+}
+
+func (c JointCol) String() string {
+	return fmt.Sprintf("p%d/%.0f%%x%d", c.PlatformIdx, c.CoreFrac*100, c.Nodes)
+}

@@ -1,0 +1,491 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+
+	"quasar/internal/cf"
+	"quasar/internal/cluster"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// Axis identifies one of the parallel classifications.
+type Axis int
+
+const (
+	AxisScaleUp Axis = iota
+	AxisScaleOut
+	AxisHetero
+	AxisTolerated
+	AxisCaused
+
+	numAxes
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisScaleUp:
+		return "scale-up"
+	case AxisScaleOut:
+		return "scale-out"
+	case AxisHetero:
+		return "heterogeneity"
+	case AxisTolerated:
+		return "interference-tolerated"
+	case AxisCaused:
+		return "interference-caused"
+	}
+	return fmt.Sprintf("axis(%d)", int(a))
+}
+
+// Options configures the engine.
+type Options struct {
+	// MaxNodes bounds the scale-out column grid (100 in the paper).
+	MaxNodes int
+	// Entries is the number of profiling samples per row per
+	// classification (2 by default, per the paper's density analysis).
+	Entries int
+	// CF configures the latent-factor models.
+	CF cf.Options
+	// RetrainEvery triggers a full model retrain after this many appended
+	// rows per axis.
+	RetrainEvery int
+}
+
+// DefaultOptions returns the paper's settings.
+func DefaultOptions() Options {
+	return Options{MaxNodes: 100, Entries: 2, CF: cf.DefaultOptions(), RetrainEvery: 25}
+}
+
+const logFloor = 1e-9
+
+func safeLog(v float64) float64 {
+	if v < logFloor {
+		v = logFloor
+	}
+	return math.Log(v)
+}
+
+type axis struct {
+	name       string
+	mat        *cf.Sparse
+	model      *cf.Model
+	sinceTrain int
+	cfOpts     cf.Options
+	retrain    int
+}
+
+func newAxis(name string, cols int, cfOpts cf.Options, retrain int) *axis {
+	return &axis{name: name, mat: cf.NewSparse(0, cols), cfOpts: cfOpts, retrain: retrain}
+}
+
+// retrainThreshold grows with the matrix so training cost stays amortized:
+// small libraries retrain eagerly, large ones at ~20% growth.
+func (a *axis) retrainThreshold() int {
+	th := a.retrain
+	if grow := a.mat.Rows / 5; grow > th {
+		th = grow
+	}
+	return th
+}
+
+func (a *axis) appendRow(obs map[int]float64) int {
+	idx := a.mat.AppendRow(obs)
+	a.sinceTrain++
+	if a.model == nil || a.sinceTrain >= a.retrainThreshold() {
+		a.train()
+	}
+	return idx
+}
+
+func (a *axis) train() {
+	a.model = cf.Train(a.mat, a.cfOpts)
+	a.sinceTrain = 0
+}
+
+// estimateRow reconstructs a full row via fold-in from the union of the
+// workload's accumulated matrix entries (profiling history plus runtime
+// feedback) and the fresh observations, preferring fresh values where both
+// exist. rowIdx < 0 skips the history merge.
+func (a *axis) estimateRow(rowIdx int, obs map[int]float64) []float64 {
+	if a.model == nil {
+		a.train()
+	}
+	merged := make(map[int]float64, len(obs)+4)
+	if rowIdx >= 0 && rowIdx < a.mat.Rows {
+		for j, v := range a.mat.Row(rowIdx) {
+			merged[j] = v
+		}
+	}
+	for j, v := range obs {
+		merged[j] = v
+	}
+	row := a.model.FoldIn(merged)
+	for j, v := range merged {
+		if j >= 0 && j < len(row) {
+			row[j] = v
+		}
+	}
+	return row
+}
+
+func (a *axis) feedback(row, col int, v float64) {
+	if row < 0 || row >= a.mat.Rows {
+		return
+	}
+	a.mat.Set(row, col, v)
+	a.sinceTrain++
+	if a.sinceTrain >= a.retrainThreshold() {
+		a.train()
+	}
+}
+
+// Engine is the classification engine: five matrices (four classifications,
+// with interference split into tolerated and caused) over a fixed platform
+// set.
+type Engine struct {
+	Platforms []cluster.Platform
+	HighEnd   int
+	SUCols    []ScaleUpCol
+	SOCounts  []int
+
+	opts  Options
+	axes  [numAxes]*axis
+	rowOf map[string]int
+	rng   *sim.RNG
+}
+
+// NewEngine builds an engine for the platform set.
+func NewEngine(platforms []cluster.Platform, opts Options, rng *sim.RNG) *Engine {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 100
+	}
+	if opts.Entries <= 0 {
+		opts.Entries = 2
+	}
+	if opts.RetrainEvery <= 0 {
+		opts.RetrainEvery = 25
+	}
+	if opts.CF.K == 0 {
+		opts.CF = cf.DefaultOptions()
+	}
+	he := cluster.HighestEnd(platforms)
+	e := &Engine{
+		Platforms: platforms,
+		HighEnd:   he,
+		SUCols:    ScaleUpColumns(&platforms[he]),
+		SOCounts:  ScaleOutCounts(opts.MaxNodes),
+		opts:      opts,
+		rowOf:     make(map[string]int),
+		rng:       rng,
+	}
+	e.axes[AxisScaleUp] = newAxis("scale-up", len(e.SUCols), opts.CF, opts.RetrainEvery)
+	e.axes[AxisScaleOut] = newAxis("scale-out", len(e.SOCounts), opts.CF, opts.RetrainEvery)
+	e.axes[AxisHetero] = newAxis("heterogeneity", len(platforms), opts.CF, opts.RetrainEvery)
+	e.axes[AxisTolerated] = newAxis("tolerated", int(cluster.NumResources), opts.CF, opts.RetrainEvery)
+	e.axes[AxisCaused] = newAxis("caused", int(cluster.NumResources), opts.CF, opts.RetrainEvery)
+	return e
+}
+
+// RetrainAll retrains every axis model from its matrix. This is the cost a
+// from-scratch reconstruction pays at an arrival (the paper's SVD +
+// PQ-reconstruction per submission); the engine otherwise amortizes it via
+// fold-in plus periodic retraining.
+func (e *Engine) RetrainAll() {
+	for _, a := range e.axes {
+		a.train()
+	}
+}
+
+// Rows returns the number of workloads in the matrices.
+func (e *Engine) Rows() int { return e.axes[AxisScaleUp].mat.Rows }
+
+// RowOf returns the matrix row of a previously classified workload.
+func (e *Engine) RowOf(id string) (int, bool) {
+	r, ok := e.rowOf[id]
+	return r, ok
+}
+
+// pickDistinct selects k distinct indices from [0,n).
+func pickDistinct(rng *sim.RNG, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// refAlloc is the reference allocation every workload is measured at: the
+// whole profiling (highest-end) node. All scale-up and heterogeneity matrix
+// entries are stored relative to it, which makes rows scale-free — batch
+// rates and service QPS can share matrices — and lets two sparse entries
+// pin a row accurately. The absolute anchor is kept per workload in
+// Estimates.RefPerf.
+func (e *Engine) refAlloc() cluster.Alloc {
+	p := &e.Platforms[e.HighEnd]
+	return cluster.Alloc{Cores: p.Cores, MemoryGB: p.MemoryGB}
+}
+
+// refCol returns the scale-up column index of the reference allocation.
+func (e *Engine) refCol() int { return NearestScaleUpCol(e.SUCols, e.refAlloc()) }
+
+// secondaryPlatform returns the fixed second profiling platform: the
+// lowest-end one (fewest total compute), most divergent from the reference.
+func (e *Engine) secondaryPlatform() int {
+	best, bestScore := 0, math.Inf(1)
+	for j := range e.Platforms {
+		if j == e.HighEnd {
+			continue
+		}
+		score := float64(e.Platforms[j].Cores) * e.Platforms[j].CorePerf
+		if score < bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// SeedOffline adds a densely profiled workload to every matrix — the
+// paper's offline-characterized library ("a small number of different
+// workload types (20-30)" profiled exhaustively, §3.2).
+func (e *Engine) SeedOffline(w *workload.Instance, p Prober) {
+	ref := p.ScaleUp(e.refAlloc())
+	su := make(map[int]float64, len(e.SUCols))
+	for j, col := range e.SUCols {
+		su[j] = safeLog(p.ScaleUp(cluster.Alloc{Cores: col.Cores, MemoryGB: col.MemoryGB})) - safeLog(ref)
+	}
+	so := make(map[int]float64, len(e.SOCounts))
+	if w.Type.Distributed() {
+		alloc := e.profilingAlloc()
+		for j, n := range e.SOCounts {
+			if n == 1 {
+				so[j] = 0
+				continue
+			}
+			so[j] = safeLog(p.ScaleOut(n, alloc))
+		}
+	}
+	het := make(map[int]float64, len(e.Platforms))
+	refHet := p.Heterogeneity(e.HighEnd)
+	for j := range e.Platforms {
+		het[j] = safeLog(p.Heterogeneity(j)) - safeLog(refHet)
+	}
+	tol := make(map[int]float64, int(cluster.NumResources))
+	caused := make(map[int]float64, int(cluster.NumResources))
+	for r := 0; r < int(cluster.NumResources); r++ {
+		tol[r] = clamp01(p.ToleratedIntensity(cluster.Resource(r)))
+		caused[r] = clamp01(p.CausedIntensity(cluster.Resource(r)))
+	}
+	e.appendAll(w.ID, su, so, het, tol, caused)
+}
+
+func (e *Engine) appendAll(id string, su, so, het, tol, caused map[int]float64) int {
+	row := e.axes[AxisScaleUp].appendRow(su)
+	e.axes[AxisScaleOut].appendRow(so)
+	e.axes[AxisHetero].appendRow(het)
+	e.axes[AxisTolerated].appendRow(tol)
+	e.axes[AxisCaused].appendRow(caused)
+	e.rowOf[id] = row
+	return row
+}
+
+// profilingAlloc is the reference per-node allocation for scale-out probes:
+// half the profiling platform.
+func (e *Engine) profilingAlloc() cluster.Alloc {
+	p := &e.Platforms[e.HighEnd]
+	return cluster.Alloc{Cores: maxInt(1, p.Cores/2), MemoryGB: p.MemoryGB / 2}
+}
+
+// Classify profiles an arriving workload with Entries samples per axis (the
+// paper's sparse profiling: two scale-up runs, one scale-out run, one
+// heterogeneity run, two injected microbenchmarks) and reconstructs its
+// full rows by fold-in. The workload is appended to the matrices so later
+// arrivals benefit from it.
+func (e *Engine) Classify(w *workload.Instance, p Prober) *Estimates {
+	rng := e.rng.Stream("classify/" + w.ID)
+	entries := e.opts.Entries
+
+	// Reference run: the whole profiling node. It anchors the absolute
+	// performance scale and doubles as the scale-up reference entry and
+	// the heterogeneity entry for the profiling platform.
+	refPerf := p.ScaleUp(e.refAlloc())
+	refLog := safeLog(refPerf)
+
+	// Scale-up: the reference plus Entries-1 allocations at genuinely
+	// different core/memory points ("two different core/thread counts and
+	// memory allocations", §3.2) — probing near the reference carries no
+	// information about the curve's shape.
+	su := make(map[int]float64, entries)
+	su[e.refCol()] = 0
+	ref := e.refAlloc()
+	informative := make([]int, 0, len(e.SUCols))
+	for j, col := range e.SUCols {
+		if col.Cores*3 <= ref.Cores && col.MemoryGB*2 <= ref.MemoryGB && col.Cores >= ref.Cores/8 {
+			informative = append(informative, j)
+		}
+	}
+	if len(informative) == 0 {
+		for j := range e.SUCols {
+			if j != e.refCol() {
+				informative = append(informative, j)
+			}
+		}
+	}
+	for _, oi := range pickDistinct(rng, len(informative), entries-1) {
+		j := informative[oi]
+		col := e.SUCols[j]
+		su[j] = safeLog(p.ScaleUp(cluster.Alloc{Cores: col.Cores, MemoryGB: col.MemoryGB})) - refLog
+	}
+
+	// Scale-out: the single-node point is free (ratio 1); each further
+	// entry probes a small node count (profiling uses 1-4 nodes online).
+	so := make(map[int]float64)
+	if w.Type.Distributed() {
+		so[0] = 0 // n=1 -> log ratio 0
+		alloc := e.profilingAlloc()
+		smallCounts := []int{} // indices of counts 2..4
+		for j, n := range e.SOCounts {
+			if n >= 2 && n <= 4 {
+				smallCounts = append(smallCounts, j)
+			}
+		}
+		picks := pickDistinct(rng, len(smallCounts), entries-1)
+		for _, pi := range picks {
+			j := smallCounts[pi]
+			so[j] = safeLog(p.ScaleOut(e.SOCounts[j], alloc))
+		}
+	}
+
+	// Heterogeneity: the profiling platform (the reference run) plus a
+	// fixed secondary platform — the paper always profiles on the same
+	// pair ("the two platforms used are A and B", §3.4). The low-end
+	// platform is maximally divergent from the reference, which pins the
+	// row's spread; additional entries (when Entries > 2) cover random
+	// other platforms.
+	het := make(map[int]float64, entries)
+	het[e.HighEnd] = 0
+	second := e.secondaryPlatform()
+	if entries >= 2 {
+		het[second] = safeLog(p.Heterogeneity(second)) - refLog
+	}
+	if extra := entries - 2; extra > 0 {
+		others := make([]int, 0, len(e.Platforms))
+		for j := range e.Platforms {
+			if j != e.HighEnd && j != second {
+				others = append(others, j)
+			}
+		}
+		for _, oi := range pickDistinct(rng, len(others), extra) {
+			j := others[oi]
+			het[j] = safeLog(p.Heterogeneity(j)) - refLog
+		}
+	}
+
+	// Interference: Entries microbenchmarks injected for tolerated, and
+	// Entries reverse measurements for caused.
+	tol := make(map[int]float64, entries)
+	for _, r := range pickDistinct(rng, int(cluster.NumResources), entries) {
+		tol[r] = clamp01(p.ToleratedIntensity(cluster.Resource(r)))
+	}
+	caused := make(map[int]float64, entries)
+	for _, r := range pickDistinct(rng, int(cluster.NumResources), entries) {
+		caused[r] = clamp01(p.CausedIntensity(cluster.Resource(r)))
+	}
+
+	row := e.appendAll(w.ID, su, so, het, tol, caused)
+	return e.estimatesFromObs(w, row, refPerf, su, so, het, tol, caused)
+}
+
+func (e *Engine) estimatesFromObs(w *workload.Instance, row int, refPerf float64, su, so, het, tol, caused map[int]float64) *Estimates {
+	es := &Estimates{
+		Engine:  e,
+		ID:      w.ID,
+		Row:     row,
+		Class:   w.Type.Class(),
+		RefPerf: refPerf,
+		SULog:   e.axes[AxisScaleUp].estimateRow(row, su),
+		HetLog:  e.axes[AxisHetero].estimateRow(row, het),
+	}
+	if w.Type.Distributed() {
+		es.SOLog = e.axes[AxisScaleOut].estimateRow(row, so)
+	} else {
+		es.SOLog = make([]float64, len(e.SOCounts)) // flat: no scale-out
+	}
+	tolRow := e.axes[AxisTolerated].estimateRow(row, tol)
+	causedRow := e.axes[AxisCaused].estimateRow(row, caused)
+	for r := 0; r < int(cluster.NumResources); r++ {
+		es.Tol[r] = clamp01(tolRow[r])
+		es.Caused[r] = clamp01(causedRow[r])
+	}
+	es.deriveBeta(so)
+	return es
+}
+
+// Reclassify re-profiles a workload in place (phase change or detected
+// misclassification, §4.1) and returns fresh estimates. The workload's
+// existing matrix row is overwritten with the new observations.
+func (e *Engine) Reclassify(w *workload.Instance, p Prober) *Estimates {
+	row, ok := e.rowOf[w.ID]
+	if !ok {
+		return e.Classify(w, p)
+	}
+	rng := e.rng.Stream("reclassify/" + w.ID)
+	entries := e.opts.Entries
+
+	refPerf := p.ScaleUp(e.refAlloc())
+	refLog := safeLog(refPerf)
+	su := make(map[int]float64, entries)
+	su[e.refCol()] = 0
+	e.axes[AxisScaleUp].feedback(row, e.refCol(), 1) // safeLog(1)=0 via feedback transform
+	for _, j := range pickDistinct(rng, len(e.SUCols), entries) {
+		col := e.SUCols[j]
+		v := safeLog(p.ScaleUp(cluster.Alloc{Cores: col.Cores, MemoryGB: col.MemoryGB})) - refLog
+		su[j] = v
+		e.axes[AxisScaleUp].feedback(row, j, math.Exp(v))
+	}
+	so := map[int]float64{}
+	if w.Type.Distributed() {
+		so[0] = 0
+	}
+	het := map[int]float64{}
+	het[e.HighEnd] = 0
+	e.axes[AxisHetero].feedback(row, e.HighEnd, 1)
+	tol := make(map[int]float64, entries)
+	for _, r := range pickDistinct(rng, int(cluster.NumResources), entries) {
+		tol[r] = clamp01(p.ToleratedIntensity(cluster.Resource(r)))
+		e.axes[AxisTolerated].feedback(row, r, tol[r])
+	}
+	caused := make(map[int]float64, entries)
+	for _, r := range pickDistinct(rng, int(cluster.NumResources), entries) {
+		caused[r] = clamp01(p.CausedIntensity(cluster.Resource(r)))
+		e.axes[AxisCaused].feedback(row, r, caused[r])
+	}
+	return e.estimatesFromObs(w, row, refPerf, su, so, het, tol, caused)
+}
+
+// Feedback updates one matrix entry with a runtime-observed value (the
+// paper's feedback loop that corrects misclassifications and extends the
+// matrices past profiling scale, §3.2).
+func (e *Engine) Feedback(id string, axis Axis, col int, value float64) {
+	row, ok := e.rowOf[id]
+	if !ok || axis < 0 || axis >= numAxes {
+		return
+	}
+	if axis == AxisScaleUp || axis == AxisScaleOut || axis == AxisHetero {
+		value = safeLog(value)
+	} else {
+		value = clamp01(value)
+	}
+	e.axes[axis].feedback(row, col, value)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

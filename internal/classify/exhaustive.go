@@ -1,0 +1,116 @@
+package classify
+
+import (
+	"quasar/internal/cf"
+	"quasar/internal/cluster"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// JointProber measures performance for full allocation-assignment vectors,
+// as the exhaustive classification requires.
+type JointProber interface {
+	// JointPerf measures performance on n nodes of the given platform with
+	// the given per-node allocation.
+	JointPerf(platformIdx, n int, alloc cluster.Alloc) float64
+}
+
+// JointPerf implements JointProber for the ground-truth prober.
+func (p *GroundTruthProber) JointPerf(platformIdx, n int, alloc cluster.Alloc) float64 {
+	return p.noise(p.perfAt(platformIdx, n, alloc, cluster.ResVec{}))
+}
+
+// Exhaustive is the single joint classification the paper compares against
+// (§3.2, Table 2): one matrix whose columns are allocation-assignment
+// vectors. Its column count is the product of the individual spaces, which
+// makes per-arrival classification roughly two orders of magnitude slower
+// and — at very low input density — less accurate on average, though better
+// on pathological cross-axis cases.
+type Exhaustive struct {
+	Platforms []cluster.Platform
+	Cols      []JointCol
+
+	mat     *cf.Sparse
+	model   *cf.Model
+	cfOpts  cf.Options
+	retrain int
+	since   int
+	rowOf   map[string]int
+	rng     *sim.RNG
+}
+
+// NewExhaustive builds the joint classifier.
+func NewExhaustive(platforms []cluster.Platform, maxNodes int, cfOpts cf.Options, rng *sim.RNG) *Exhaustive {
+	cols := JointColumns(platforms, maxNodes)
+	return &Exhaustive{
+		Platforms: platforms,
+		Cols:      cols,
+		mat:       cf.NewSparse(0, len(cols)),
+		cfOpts:    cfOpts,
+		retrain:   25,
+		rowOf:     make(map[string]int),
+		rng:       rng,
+	}
+}
+
+// NumColumns returns the size of the joint column space.
+func (x *Exhaustive) NumColumns() int { return len(x.Cols) }
+
+// Seed adds a densely profiled workload.
+func (x *Exhaustive) Seed(w *workload.Instance, p JointProber) {
+	obs := make(map[int]float64, len(x.Cols))
+	for j, col := range x.Cols {
+		if col.Nodes > 1 && !w.Type.Distributed() {
+			continue
+		}
+		obs[j] = safeLog(p.JointPerf(col.PlatformIdx, col.Nodes, col.Alloc(x.Platforms)))
+	}
+	x.append(w.ID, obs)
+}
+
+func (x *Exhaustive) append(id string, obs map[int]float64) int {
+	row := x.mat.AppendRow(obs)
+	x.rowOf[id] = row
+	x.since++
+	if x.model == nil || x.since >= x.retrain {
+		x.model = cf.Train(x.mat, x.cfOpts)
+		x.since = 0
+	}
+	return row
+}
+
+// Retrain refits the joint model from scratch (the per-arrival cost of the
+// exhaustive design).
+func (x *Exhaustive) Retrain() {
+	x.model = cf.Train(x.mat, x.cfOpts)
+	x.since = 0
+}
+
+// Classify profiles the workload at entries random joint columns and
+// reconstructs the full row (log performance per column).
+func (x *Exhaustive) Classify(w *workload.Instance, p JointProber, entries int) []float64 {
+	rng := x.rng.Stream("exhaustive/" + w.ID)
+	valid := make([]int, 0, len(x.Cols))
+	for j, col := range x.Cols {
+		if col.Nodes > 1 && !w.Type.Distributed() {
+			continue
+		}
+		valid = append(valid, j)
+	}
+	obs := make(map[int]float64, entries)
+	for _, vi := range pickDistinct(rng, len(valid), entries) {
+		j := valid[vi]
+		col := x.Cols[j]
+		obs[j] = safeLog(p.JointPerf(col.PlatformIdx, col.Nodes, col.Alloc(x.Platforms)))
+	}
+	x.append(w.ID, obs)
+	if x.model == nil {
+		x.model = cf.Train(x.mat, x.cfOpts)
+		x.since = 0
+	}
+	row := x.model.FoldIn(obs)
+	for j, v := range obs {
+		row[j] = v
+	}
+	return row
+}

@@ -1,0 +1,153 @@
+package classify
+
+import (
+	"math"
+	"sort"
+
+	"quasar/internal/cluster"
+	"quasar/internal/workload"
+)
+
+// ErrorStats summarizes a set of estimation errors the way Table 2 reports
+// them: average, 90th percentile, and maximum.
+type ErrorStats struct {
+	Avg, P90, Max float64
+	N             int
+}
+
+// Stats computes ErrorStats over raw errors.
+func Stats(errs []float64) ErrorStats {
+	if len(errs) == 0 {
+		return ErrorStats{}
+	}
+	s := append([]float64(nil), errs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, e := range s {
+		sum += e
+	}
+	idx := int(math.Ceil(0.9*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return ErrorStats{
+		Avg: sum / float64(len(s)),
+		P90: s[idx],
+		Max: s[len(s)-1],
+		N:   len(s),
+	}
+}
+
+// Merge pools several error sets.
+func Merge(all ...[]float64) []float64 {
+	var out []float64
+	for _, e := range all {
+		out = append(out, e...)
+	}
+	return out
+}
+
+// relErr returns |est-true|/true, guarding tiny denominators.
+func relErr(est, truth float64) float64 {
+	if truth < 1e-9 {
+		if est < 1e-9 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(est-truth) / truth
+}
+
+// ValidationErrors holds per-axis error samples for one workload: the
+// deviation between classification estimates and detailed ground-truth
+// characterization over every column.
+type ValidationErrors struct {
+	ScaleUp  []float64
+	ScaleOut []float64
+	Hetero   []float64
+	Interf   []float64
+}
+
+// Validate classifies w with the engine (sparse profiling through prober)
+// and compares the reconstructed rows against exhaustive noise-free
+// characterization, column by column. This is the Table 2 measurement.
+func Validate(e *Engine, w *workload.Instance) (*Estimates, ValidationErrors) {
+	noisy := NewGroundTruthProber(w, e.Platforms, e.rng.Stream("probe/"+w.ID))
+	es := e.Classify(w, noisy)
+	truth := NewGroundTruthProber(w, e.Platforms, nil) // nil RNG: noise-free
+	return es, CompareToTruth(es, w, truth)
+}
+
+// CompareToTruth computes per-column errors of estimates against a
+// noise-free prober.
+func CompareToTruth(es *Estimates, w *workload.Instance, truth *GroundTruthProber) ValidationErrors {
+	var v ValidationErrors
+	e := es.Engine
+
+	// Columns where the true performance is negligible (a starved
+	// allocation a scheduler would never pick — e.g. a service whose
+	// QPS-at-QoS is ~0 at one core) produce unbounded *relative* errors
+	// that say nothing about decision quality; skip them.
+	refTruth := truth.ScaleUp(e.refAlloc())
+	negligible := 0.02 * refTruth
+
+	for j, col := range e.SUCols {
+		tr := truth.ScaleUp(cluster.Alloc{Cores: col.Cores, MemoryGB: col.MemoryGB})
+		if tr < negligible {
+			continue
+		}
+		v.ScaleUp = append(v.ScaleUp, relErr(es.RefPerf*math.Exp(es.SULog[j]), tr))
+	}
+	if w.Type.Distributed() {
+		alloc := e.profilingAlloc()
+		for j, n := range e.SOCounts {
+			tr := truth.ScaleOut(n, alloc)
+			v.ScaleOut = append(v.ScaleOut, relErr(math.Exp(es.SOLog[j]), tr))
+		}
+	}
+	for j := range e.Platforms {
+		tr := truth.Heterogeneity(j)
+		if tr < negligible {
+			continue
+		}
+		v.Hetero = append(v.Hetero, relErr(es.RefPerf*math.Exp(es.HetLog[j]), tr))
+	}
+	for r := 0; r < int(cluster.NumResources); r++ {
+		trTol := truth.ToleratedIntensity(cluster.Resource(r))
+		trCaused := truth.CausedIntensity(cluster.Resource(r))
+		// Sensitivities live on a 0..1 intensity scale; absolute error on
+		// that scale is the natural "% error".
+		v.Interf = append(v.Interf, math.Abs(es.Tol[r]-trTol))
+		v.Interf = append(v.Interf, math.Abs(es.Caused[r]-trCaused))
+	}
+	return v
+}
+
+// ValidateExhaustiveWith classifies w with the joint classifier using the
+// given noisy prober and compares against noise-free truth.
+func ValidateExhaustiveWith(x *Exhaustive, w *workload.Instance, noisy *GroundTruthProber, entries int) []float64 {
+	row := x.Classify(w, noisy, entries)
+	truth := NewGroundTruthProber(w, x.Platforms, nil)
+	// Reference scale for the negligible-column filter: the biggest
+	// single-node configuration.
+	refTruth := 0.0
+	for _, col := range x.Cols {
+		if col.Nodes == 1 && col.CoreFrac == 1.0 {
+			if tr := truth.JointPerf(col.PlatformIdx, 1, col.Alloc(x.Platforms)); tr > refTruth {
+				refTruth = tr
+			}
+		}
+	}
+	var errs []float64
+	for j, col := range x.Cols {
+		if col.Nodes > 1 && !w.Type.Distributed() {
+			continue
+		}
+		tr := truth.JointPerf(col.PlatformIdx, col.Nodes, col.Alloc(x.Platforms))
+		if tr < 0.02*refTruth {
+			continue
+		}
+		errs = append(errs, relErr(math.Exp(row[j]), tr))
+	}
+	return errs
+}

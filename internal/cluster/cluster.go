@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Alloc is the per-server share of an allocation: a number of cores and an
+// amount of memory on one server.
+type Alloc struct {
+	Cores    int
+	MemoryGB float64
+}
+
+// Valid reports whether the allocation requests a positive amount of both
+// resources.
+func (a Alloc) Valid() bool { return a.Cores > 0 && a.MemoryGB > 0 }
+
+// Placement records that a workload occupies an Alloc on a Server.
+//
+// Caused is the shared-resource pressure this workload exerts at this
+// allocation; it feeds the interference penalty of everything colocated.
+// ActiveCores and ActiveMemGB are the *actually used* resources as opposed
+// to the allocated ones; the workload model refreshes them each tick, and
+// utilization figures (Fig. 1, 7, 10, 11) are computed from them.
+type Placement struct {
+	WorkloadID string
+	Server     *Server
+	Alloc      Alloc
+	Caused     ResVec
+	BestEffort bool
+
+	ActiveCores float64
+	ActiveMemGB float64
+	ActiveDisk  float64 // fraction of server disk bandwidth in use
+}
+
+// Server is one machine of the cluster: a platform instance plus the
+// bookkeeping of everything placed on it.
+type Server struct {
+	ID       int
+	Platform *Platform
+
+	// Zone is the fault domain (rack/PDU) the server belongs to. The
+	// scheduler can spread a workload's nodes across zones (§4.4: "our
+	// current resource assignment does not account for fault zones;
+	// however, this is a straightforward extension").
+	Zone int
+
+	usedCores  int
+	usedMemGB  float64
+	placements map[string]*Placement
+	pressure   ResVec // sum of residents' Caused vectors
+	probe      ResVec // injected microbenchmark pressure (iBench-style)
+	isolation  ResVec // fraction of cross-workload pressure removed per resource
+}
+
+// NewServer returns an empty server of the given platform.
+func NewServer(id int, p *Platform) *Server {
+	return &Server{ID: id, Platform: p, placements: make(map[string]*Placement)}
+}
+
+// FreeCores returns the number of unallocated cores.
+func (s *Server) FreeCores() int { return s.Platform.Cores - s.usedCores }
+
+// FreeMemGB returns the unallocated memory.
+func (s *Server) FreeMemGB() float64 { return s.Platform.MemoryGB - s.usedMemGB }
+
+// UsedCores returns the number of allocated cores.
+func (s *Server) UsedCores() int { return s.usedCores }
+
+// UsedMemGB returns the allocated memory.
+func (s *Server) UsedMemGB() float64 { return s.usedMemGB }
+
+// Fits reports whether alloc can be placed on the server right now.
+func (s *Server) Fits(alloc Alloc) bool {
+	return alloc.Cores <= s.FreeCores() && alloc.MemoryGB <= s.FreeMemGB()+1e-9
+}
+
+// Place reserves alloc for the given workload. It returns the placement or
+// an error when capacity is insufficient or the workload already resides
+// here.
+func (s *Server) Place(workloadID string, alloc Alloc, caused ResVec, bestEffort bool) (*Placement, error) {
+	if !alloc.Valid() {
+		return nil, fmt.Errorf("cluster: invalid alloc %+v for %s", alloc, workloadID)
+	}
+	if _, dup := s.placements[workloadID]; dup {
+		return nil, fmt.Errorf("cluster: %s already placed on server %d", workloadID, s.ID)
+	}
+	if !s.Fits(alloc) {
+		return nil, fmt.Errorf("cluster: server %d cannot fit %+v (free %d cores, %.1f GB)",
+			s.ID, alloc, s.FreeCores(), s.FreeMemGB())
+	}
+	pl := &Placement{WorkloadID: workloadID, Server: s, Alloc: alloc, Caused: caused, BestEffort: bestEffort}
+	s.placements[workloadID] = pl
+	s.usedCores += alloc.Cores
+	s.usedMemGB += alloc.MemoryGB
+	s.pressure = s.pressure.Add(caused)
+	return pl, nil
+}
+
+// Remove releases the workload's placement. It is an error to remove a
+// workload that is not placed here.
+func (s *Server) Remove(workloadID string) error {
+	pl, ok := s.placements[workloadID]
+	if !ok {
+		return fmt.Errorf("cluster: %s not placed on server %d", workloadID, s.ID)
+	}
+	delete(s.placements, workloadID)
+	s.usedCores -= pl.Alloc.Cores
+	s.usedMemGB -= pl.Alloc.MemoryGB
+	s.pressure = s.pressure.Sub(pl.Caused)
+	return nil
+}
+
+// Resize changes the allocation and caused-pressure of an existing
+// placement in place (scale-up/down adjustment).
+func (s *Server) Resize(workloadID string, alloc Alloc, caused ResVec) error {
+	pl, ok := s.placements[workloadID]
+	if !ok {
+		return fmt.Errorf("cluster: %s not placed on server %d", workloadID, s.ID)
+	}
+	dCores := alloc.Cores - pl.Alloc.Cores
+	dMem := alloc.MemoryGB - pl.Alloc.MemoryGB
+	if dCores > s.FreeCores() || dMem > s.FreeMemGB()+1e-9 {
+		return fmt.Errorf("cluster: server %d cannot grow %s to %+v", s.ID, workloadID, alloc)
+	}
+	s.usedCores += dCores
+	s.usedMemGB += dMem
+	s.pressure = s.pressure.Sub(pl.Caused).Add(caused)
+	pl.Alloc = alloc
+	pl.Caused = caused
+	return nil
+}
+
+// Placement returns the placement of the given workload, or nil.
+func (s *Server) Placement(workloadID string) *Placement { return s.placements[workloadID] }
+
+// Placements returns the resident placements in workload-ID order
+// (deterministic iteration).
+func (s *Server) Placements() []*Placement {
+	out := make([]*Placement, 0, len(s.placements))
+	for _, pl := range s.placements {
+		out = append(out, pl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WorkloadID < out[j].WorkloadID })
+	return out
+}
+
+// NumPlacements returns the number of resident workloads.
+func (s *Server) NumPlacements() int { return len(s.placements) }
+
+// SetProbe injects extra shared-resource pressure (the interference
+// microbenchmarks of §3.2/§4.1). It replaces any previous probe.
+func (s *Server) SetProbe(p ResVec) { s.probe = p }
+
+// Probe returns the currently injected probe pressure.
+func (s *Server) Probe() ResVec { return s.probe }
+
+// SetIsolation configures hardware partitioning (cache ways, NIC rate
+// limits, ...): isolation[r] is the fraction of cross-workload pressure in
+// resource r that partitioning eliminates (§4.4 "resource partitioning is
+// orthogonal ... Quasar will have to determine the settings").
+func (s *Server) SetIsolation(v ResVec) {
+	for r := range v {
+		s.isolation[r] = clampUnit(v[r])
+	}
+}
+
+// Isolation returns the current partitioning configuration.
+func (s *Server) Isolation() ResVec { return s.isolation }
+
+func clampUnit(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// PressureOn returns the shared-resource pressure experienced by the given
+// workload: everything caused by its neighbours and injected probes, but not
+// by itself, attenuated by any configured partitioning. workloadID may be
+// "" to get total pressure.
+func (s *Server) PressureOn(workloadID string) ResVec {
+	p := s.pressure.Add(s.probe)
+	if pl, ok := s.placements[workloadID]; ok {
+		p = p.Sub(pl.Caused)
+	}
+	for r := range p {
+		p[r] *= 1 - s.isolation[r]
+	}
+	return p
+}
+
+// CPUUtilization returns actually-busy cores divided by total cores.
+func (s *Server) CPUUtilization() float64 {
+	busy := 0.0
+	for _, pl := range s.placements {
+		busy += pl.ActiveCores
+	}
+	u := busy / float64(s.Platform.Cores)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// MemUtilization returns actually-used memory divided by total memory.
+func (s *Server) MemUtilization() float64 {
+	used := 0.0
+	for _, pl := range s.placements {
+		used += pl.ActiveMemGB
+	}
+	u := used / s.Platform.MemoryGB
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// DiskUtilization returns the fraction of disk bandwidth in use.
+func (s *Server) DiskUtilization() float64 {
+	used := 0.0
+	for _, pl := range s.placements {
+		used += pl.ActiveDisk
+	}
+	if used > 1 {
+		used = 1
+	}
+	return used
+}
+
+// AllocUtilization returns allocated cores divided by total cores (the
+// "reserved" series of Fig. 1 and 11d).
+func (s *Server) AllocUtilization() float64 {
+	return float64(s.usedCores) / float64(s.Platform.Cores)
+}
+
+// Cluster is a set of servers drawn from a list of platforms.
+type Cluster struct {
+	Platforms []Platform
+	Servers   []*Server
+
+	byPlatform map[string][]*Server
+}
+
+// New builds a cluster with count[i] servers of platforms[i].
+func New(platforms []Platform, counts []int) (*Cluster, error) {
+	if len(platforms) != len(counts) {
+		return nil, fmt.Errorf("cluster: %d platforms but %d counts", len(platforms), len(counts))
+	}
+	c := &Cluster{Platforms: platforms, byPlatform: make(map[string][]*Server)}
+	id := 0
+	for i := range platforms {
+		if err := platforms[i].Validate(); err != nil {
+			return nil, err
+		}
+		for j := 0; j < counts[i]; j++ {
+			s := NewServer(id, &c.Platforms[i])
+			c.Servers = append(c.Servers, s)
+			c.byPlatform[platforms[i].Name] = append(c.byPlatform[platforms[i].Name], s)
+			id++
+		}
+	}
+	return c, nil
+}
+
+// NewUniform builds a cluster with the same number of servers per platform,
+// distributing any remainder over the first platforms.
+func NewUniform(platforms []Platform, total int) (*Cluster, error) {
+	counts := make([]int, len(platforms))
+	for i := 0; i < total; i++ {
+		counts[i%len(platforms)]++
+	}
+	return New(platforms, counts)
+}
+
+// AssignZones spreads the servers round-robin over n fault zones.
+func (c *Cluster) AssignZones(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for i, s := range c.Servers {
+		s.Zone = i % n
+	}
+}
+
+// ByPlatform returns the servers of the named platform.
+func (c *Cluster) ByPlatform(name string) []*Server { return c.byPlatform[name] }
+
+// PlatformIndex returns the position of the named platform, or -1.
+func (c *Cluster) PlatformIndex(name string) int {
+	for i := range c.Platforms {
+		if c.Platforms[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalCores returns the core count of the whole cluster.
+func (c *Cluster) TotalCores() int {
+	n := 0
+	for _, s := range c.Servers {
+		n += s.Platform.Cores
+	}
+	return n
+}
+
+// TotalMemGB returns the memory capacity of the whole cluster.
+func (c *Cluster) TotalMemGB() float64 {
+	m := 0.0
+	for _, s := range c.Servers {
+		m += s.Platform.MemoryGB
+	}
+	return m
+}
+
+// MeanCPUUtilization averages CPU utilization over all servers.
+func (c *Cluster) MeanCPUUtilization() float64 {
+	if len(c.Servers) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range c.Servers {
+		sum += s.CPUUtilization()
+	}
+	return sum / float64(len(c.Servers))
+}
+
+// FreeCores sums unallocated cores over all servers.
+func (c *Cluster) FreeCores() int {
+	n := 0
+	for _, s := range c.Servers {
+		n += s.FreeCores()
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import "fmt"
+
+// Platform describes a server configuration: its size (cores, memory) and
+// its per-core microarchitectural quality. CorePerf is a relative per-core
+// throughput multiplier (1.0 = the baseline platform A core); the bandwidth
+// fields bound how much simultaneous pressure the shared resources absorb
+// before contention penalties apply.
+type Platform struct {
+	Name      string
+	Cores     int
+	MemoryGB  float64
+	CorePerf  float64 // per-core relative performance
+	CacheMB   float64 // last-level cache size
+	MemBWGBs  float64 // memory bandwidth
+	DiskBWMBs float64
+	NetBWGbs  float64
+}
+
+// Validate reports whether the platform definition is self-consistent.
+func (p *Platform) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("cluster: platform with empty name")
+	case p.Cores <= 0:
+		return fmt.Errorf("cluster: platform %s has %d cores", p.Name, p.Cores)
+	case p.MemoryGB <= 0:
+		return fmt.Errorf("cluster: platform %s has %.1f GB memory", p.Name, p.MemoryGB)
+	case p.CorePerf <= 0:
+		return fmt.Errorf("cluster: platform %s has non-positive CorePerf", p.Name)
+	}
+	return nil
+}
+
+// LocalPlatforms returns the ten platforms A–J of the paper's local cluster
+// (Table 1): from a dual-core Atom-class board (A) to a dual-socket 24-core
+// Xeon with 48 GB (J). Core/memory counts are the table's; per-core
+// performance grows with platform class so that, combined with core counts,
+// whole-node throughput spans the ~7x heterogeneity range of Figure 2.
+func LocalPlatforms() []Platform {
+	return []Platform{
+		{Name: "A", Cores: 2, MemoryGB: 4, CorePerf: 1.00, CacheMB: 1, MemBWGBs: 4, DiskBWMBs: 60, NetBWGbs: 1},
+		{Name: "B", Cores: 4, MemoryGB: 8, CorePerf: 1.25, CacheMB: 2, MemBWGBs: 8, DiskBWMBs: 80, NetBWGbs: 1},
+		{Name: "C", Cores: 8, MemoryGB: 12, CorePerf: 1.35, CacheMB: 4, MemBWGBs: 12, DiskBWMBs: 100, NetBWGbs: 1},
+		{Name: "D", Cores: 8, MemoryGB: 16, CorePerf: 1.50, CacheMB: 8, MemBWGBs: 17, DiskBWMBs: 120, NetBWGbs: 10},
+		{Name: "E", Cores: 8, MemoryGB: 20, CorePerf: 1.65, CacheMB: 8, MemBWGBs: 21, DiskBWMBs: 140, NetBWGbs: 10},
+		{Name: "F", Cores: 8, MemoryGB: 24, CorePerf: 1.80, CacheMB: 12, MemBWGBs: 25, DiskBWMBs: 160, NetBWGbs: 10},
+		{Name: "G", Cores: 12, MemoryGB: 16, CorePerf: 1.70, CacheMB: 12, MemBWGBs: 25, DiskBWMBs: 160, NetBWGbs: 10},
+		{Name: "H", Cores: 12, MemoryGB: 24, CorePerf: 1.85, CacheMB: 16, MemBWGBs: 32, DiskBWMBs: 200, NetBWGbs: 10},
+		{Name: "I", Cores: 16, MemoryGB: 48, CorePerf: 2.00, CacheMB: 20, MemBWGBs: 42, DiskBWMBs: 250, NetBWGbs: 10},
+		{Name: "J", Cores: 24, MemoryGB: 48, CorePerf: 2.10, CacheMB: 30, MemBWGBs: 51, DiskBWMBs: 300, NetBWGbs: 10},
+	}
+}
+
+// EC2Platforms returns the 14 dedicated-instance types of the paper's
+// 200-server EC2 cluster, "ranging from small to x-large". Names follow the
+// 2013-era EC2 families.
+func EC2Platforms() []Platform {
+	return []Platform{
+		{Name: "m1.small", Cores: 1, MemoryGB: 1.7, CorePerf: 1.00, CacheMB: 1, MemBWGBs: 3, DiskBWMBs: 50, NetBWGbs: 0.25},
+		{Name: "m1.medium", Cores: 1, MemoryGB: 3.75, CorePerf: 1.30, CacheMB: 2, MemBWGBs: 5, DiskBWMBs: 60, NetBWGbs: 0.5},
+		{Name: "m1.large", Cores: 2, MemoryGB: 7.5, CorePerf: 1.35, CacheMB: 4, MemBWGBs: 8, DiskBWMBs: 80, NetBWGbs: 0.5},
+		{Name: "m1.xlarge", Cores: 4, MemoryGB: 15, CorePerf: 1.40, CacheMB: 8, MemBWGBs: 12, DiskBWMBs: 100, NetBWGbs: 1},
+		{Name: "m3.xlarge", Cores: 4, MemoryGB: 15, CorePerf: 1.75, CacheMB: 12, MemBWGBs: 20, DiskBWMBs: 120, NetBWGbs: 1},
+		{Name: "m3.2xlarge", Cores: 8, MemoryGB: 30, CorePerf: 1.80, CacheMB: 20, MemBWGBs: 32, DiskBWMBs: 160, NetBWGbs: 1},
+		{Name: "c1.medium", Cores: 2, MemoryGB: 1.7, CorePerf: 1.55, CacheMB: 2, MemBWGBs: 6, DiskBWMBs: 60, NetBWGbs: 0.5},
+		{Name: "c1.xlarge", Cores: 8, MemoryGB: 7, CorePerf: 1.60, CacheMB: 8, MemBWGBs: 18, DiskBWMBs: 120, NetBWGbs: 1},
+		{Name: "cc2.8xlarge", Cores: 32, MemoryGB: 60.5, CorePerf: 2.05, CacheMB: 40, MemBWGBs: 80, DiskBWMBs: 400, NetBWGbs: 10},
+		{Name: "m2.xlarge", Cores: 2, MemoryGB: 17.1, CorePerf: 1.65, CacheMB: 6, MemBWGBs: 14, DiskBWMBs: 100, NetBWGbs: 0.5},
+		{Name: "m2.2xlarge", Cores: 4, MemoryGB: 34.2, CorePerf: 1.70, CacheMB: 12, MemBWGBs: 24, DiskBWMBs: 140, NetBWGbs: 1},
+		{Name: "m2.4xlarge", Cores: 8, MemoryGB: 68.4, CorePerf: 1.75, CacheMB: 24, MemBWGBs: 40, DiskBWMBs: 200, NetBWGbs: 1},
+		{Name: "hi1.4xlarge", Cores: 16, MemoryGB: 60.5, CorePerf: 1.90, CacheMB: 24, MemBWGBs: 50, DiskBWMBs: 1000, NetBWGbs: 10},
+		{Name: "cr1.8xlarge", Cores: 32, MemoryGB: 244, CorePerf: 2.15, CacheMB: 50, MemBWGBs: 100, DiskBWMBs: 400, NetBWGbs: 10},
+	}
+}
+
+// HighestEnd returns the index of the platform with the most scale-up
+// headroom (most cores; ties broken by memory). Scale-up profiling runs on
+// this platform, per the paper.
+func HighestEnd(platforms []Platform) int {
+	best := 0
+	for i, p := range platforms {
+		b := platforms[best]
+		if p.Cores > b.Cores || (p.Cores == b.Cores && p.MemoryGB > b.MemoryGB) {
+			best = i
+		}
+	}
+	return best
+}

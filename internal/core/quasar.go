@@ -1,0 +1,651 @@
+package core
+
+import (
+	"math"
+
+	"quasar/internal/classify"
+	"quasar/internal/cluster"
+	"quasar/internal/perfmodel"
+	"quasar/internal/sched"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// QuasarOptions tunes the Quasar manager.
+type QuasarOptions struct {
+	// MaxNodesPerJob bounds scale-out per workload.
+	MaxNodesPerJob int
+	// Sched configures the greedy scheduler.
+	Sched sched.Options
+	// Classify configures the classification engine.
+	Classify classify.Options
+	// ProactivePeriodSecs is the proactive phase-probe period (600s = 10
+	// minutes in the paper); 0 disables proactive probing.
+	ProactivePeriodSecs float64
+	// ProactiveFraction is the share of active workloads sampled per probe
+	// round (0.2 in the paper).
+	ProactiveFraction float64
+	// DisableAdaptation freezes allocations after initial placement
+	// (ablation knob).
+	DisableAdaptation bool
+
+	// EnablePartitioning lets Quasar configure hardware isolation (cache
+	// partitioning, NIC rate limiting) on servers where residents'
+	// tolerances are violated in partitionable resources (§4.4 extension;
+	// off by default, as in the paper).
+	EnablePartitioning bool
+}
+
+// DefaultQuasarOptions returns the paper's settings.
+func DefaultQuasarOptions() QuasarOptions {
+	return QuasarOptions{
+		MaxNodesPerJob:      16,
+		Sched:               sched.DefaultOptions(),
+		Classify:            classify.DefaultOptions(),
+		ProactivePeriodSecs: 600,
+		ProactiveFraction:   0.2,
+	}
+}
+
+// taskState is Quasar's per-workload knowledge.
+type taskState struct {
+	est         *classify.Estimates
+	workEst     float64 // estimated total work (batch), from profiling
+	deadline    float64 // absolute completion deadline (batch)
+	below       int     // consecutive monitoring intervals under target
+	phaseSig    int     // phase-change signals observed
+	lastAdjust  float64 // time of the last allocation adjustment
+	lastResched float64 // time of the last full reschedule
+	lastReclass float64 // time of the last reclassification
+}
+
+// Quasar is the paper's cluster manager: performance-target interface,
+// classification-driven joint allocation/assignment, runtime monitoring
+// with allocation adjustment and phase detection.
+type Quasar struct {
+	rt   *Runtime
+	opts QuasarOptions
+
+	engine *classify.Engine
+	sch    *sched.Scheduler
+	rng    *sim.RNG
+
+	state map[string]*taskState
+	queue []*Task // admission-control wait queue (and evicted best-effort)
+
+	// PhaseChangesDetected counts reclassifications triggered by
+	// monitoring. PhaseEvents records each with its trigger source.
+	PhaseChangesDetected int
+	PhaseEvents          []PhaseEvent
+}
+
+// PhaseEvent records one detected phase change / misclassification.
+type PhaseEvent struct {
+	Time   float64
+	TaskID string
+	// Source is "reactive" (performance deviation) or "proactive"
+	// (interference probe sampling).
+	Source string
+}
+
+// NewQuasar builds the manager over a runtime.
+func NewQuasar(rt *Runtime, opts QuasarOptions) *Quasar {
+	if opts.MaxNodesPerJob <= 0 {
+		opts.MaxNodesPerJob = 16
+	}
+	q := &Quasar{
+		rt:     rt,
+		opts:   opts,
+		rng:    rt.RNG.Stream("quasar"),
+		state:  make(map[string]*taskState),
+		engine: classify.NewEngine(rt.Cl.Platforms, opts.Classify, rt.RNG.Stream("classify")),
+		sch:    sched.New(rt.Cl, opts.Sched),
+	}
+	return q
+}
+
+// Engine exposes the classification engine (for offline seeding by
+// scenarios).
+func (q *Quasar) Engine() *classify.Engine { return q.engine }
+
+// Name implements Manager.
+func (q *Quasar) Name() string { return "quasar" }
+
+// SeedLibrary adds offline-profiled workloads to the classification engine.
+func (q *Quasar) SeedLibrary(ws []*workload.Instance) {
+	for i, w := range ws {
+		p := classify.NewGroundTruthProber(w, q.rt.Cl.Platforms, q.rng.Stream("seed").Stream(w.ID))
+		q.engine.SeedOffline(w, p)
+		_ = i
+	}
+}
+
+// profilingDelay returns the simulated wall-clock cost of the sandboxed
+// profiling runs (§3.4: 10-15s for small batch, up to ~5 min for stateful
+// services).
+func profilingDelay(w *workload.Instance) float64 {
+	switch {
+	case w.BestEffort:
+		return 0
+	case w.Type.Stateful():
+		return 240 // state warm-up dominates
+	case w.Type.Class() == perfmodel.Analytics:
+		// A few map tasks to ~20% completion. Simulated job durations are
+		// compressed relative to the paper's hours-long jobs, so the
+		// profiling time is compressed proportionally.
+		return 20
+	case w.Type.Class() == perfmodel.LatencyCritical:
+		return 15 // seconds of live traffic
+	default:
+		return 15
+	}
+}
+
+// OnSubmit implements Manager: profile, classify, then jointly allocate and
+// assign.
+func (q *Quasar) OnSubmit(t *Task) {
+	if t.W.BestEffort {
+		if !q.placeBestEffort(t) {
+			q.queue = append(q.queue, t)
+		}
+		return
+	}
+	t.Status = StatusProfiling
+	delay := profilingDelay(t.W)
+	q.rt.Eng.After(delay, func() { q.admit(t) })
+}
+
+// admit classifies and places a workload after profiling completes.
+func (q *Quasar) admit(t *Task) {
+	w := t.W
+	st := &taskState{}
+	prober := classify.NewGroundTruthProber(w, q.rt.Cl.Platforms, q.rng.Stream("probe/"+w.ID))
+	st.est = q.engine.Classify(w, prober)
+
+	if w.Type.Class() != perfmodel.LatencyCritical {
+		// Work estimate from profiling progress-rate extrapolation (§3.2):
+		// accurate to a few percent.
+		st.workEst = q.rng.Stream("work/"+w.ID).Jitter(w.Genome.Work, 0.05)
+	}
+	if w.Type.Class() == perfmodel.Analytics {
+		st.deadline = t.SubmitAt + w.Target.CompletionSecs
+	}
+	q.state[w.ID] = st
+
+	if !q.tryPlace(t, st) {
+		t.Status = StatusQueued
+		q.queue = append(q.queue, t)
+	}
+}
+
+// needPerf computes the performance the workload currently requires, in its
+// own metric.
+func (q *Quasar) needPerf(t *Task, st *taskState) float64 {
+	now := q.rt.Eng.Now()
+	switch t.W.Type.Class() {
+	case perfmodel.Analytics:
+		// The framework reports completion fraction; the profiling-derived
+		// work estimate provides the scale.
+		remWork := st.workEst * (1 - q.rt.ProgressFraction(t))
+		if remWork <= 0 {
+			return 0
+		}
+		remTime := st.deadline - now
+		if remTime < 60 {
+			remTime = 60 // past-due: allocate for max effort within bounds
+		}
+		return remWork / remTime
+	case perfmodel.LatencyCritical:
+		offered := q.rt.OfferedLoad(t)
+		floor := 0.15 * t.W.Target.QPS
+		need := offered * 1.2
+		if need < floor {
+			need = floor
+		}
+		if cap := t.W.Target.QPS * 1.3; need > cap {
+			need = cap
+		}
+		return need
+	default:
+		return t.W.Target.IPS
+	}
+}
+
+// tryPlace runs the greedy scheduler and applies the assignment.
+func (q *Quasar) tryPlace(t *Task, st *taskState) bool {
+	maxNodes := q.opts.MaxNodesPerJob
+	if !t.W.Type.Distributed() {
+		maxNodes = 1
+	}
+	need := q.needPerf(t, st)
+	if need <= 0 {
+		need = 1e-6
+	}
+	// A workload already past its deadline, or one being rescheduled
+	// mid-flight, takes whatever is available rather than waiting for the
+	// full (possibly inflated) requirement.
+	acceptPartial := t.Progress > 0 ||
+		(t.W.Type.Class() == perfmodel.Analytics &&
+			st.deadline > 0 && q.rt.Eng.Now() > st.deadline)
+	req := &sched.Request{
+		W: t.W, Est: st.est, NeedPerf: need, MaxNodes: maxNodes,
+		EstOf: q.estOf, AcceptPartial: acceptPartial,
+		MaxCostPerHour: t.W.MaxCostPerHour,
+	}
+	asn, err := q.sch.Schedule(req)
+	if err != nil {
+		return false
+	}
+	for _, ev := range asn.Evictions {
+		_ = q.rt.Evict(ev)
+	}
+	if asn.Config != nil {
+		t.W.Config = asn.Config
+	}
+	placed := 0
+	for _, n := range asn.Nodes {
+		if err := q.rt.Place(t, n.Server, n.Alloc); err == nil {
+			placed++
+		}
+	}
+	return placed > 0
+}
+
+// estOf exposes resident estimates to the scheduler's compatibility check.
+func (q *Quasar) estOf(id string) *classify.Estimates {
+	if st, ok := q.state[id]; ok {
+		return st.est
+	}
+	return nil
+}
+
+// beSafeOn reports whether adding a small best-effort slice to the server
+// keeps every classified resident within its interference tolerance. This
+// is what lets Quasar colocate fillers aggressively without disturbing
+// primary workloads (§6.3: with auto-scaling, best-effort jobs cause
+// frequent QPS drops; with Quasar the service runs undisturbed).
+func (q *Quasar) beSafeOn(s *cluster.Server) bool {
+	const beCausedMargin = 0.12 // conservative bound for an unclassified filler
+	for _, pl := range s.Placements() {
+		if pl.BestEffort {
+			continue
+		}
+		st, ok := q.state[pl.WorkloadID]
+		if !ok {
+			continue
+		}
+		existing := s.PressureOn(pl.WorkloadID)
+		for r := 0; r < int(cluster.NumResources); r++ {
+			if existing[r]+beCausedMargin > st.est.Tol[r]+0.05 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// placeBestEffort gives a best-effort task a small slice on the server with
+// the most free cores among servers where it will not disturb primaries.
+func (q *Quasar) placeBestEffort(t *Task) bool {
+	var best *cluster.Server
+	for _, s := range q.rt.Cl.Servers {
+		if s.FreeCores() >= 1 && s.FreeMemGB() >= 1 && q.beSafeOn(s) {
+			if best == nil || s.FreeCores() > best.FreeCores() {
+				best = s
+			}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	alloc := cluster.Alloc{
+		Cores:    minInt(4, best.FreeCores()),
+		MemoryGB: math.Min(6, best.FreeMemGB()),
+	}
+	return q.rt.Place(t, best, alloc) == nil
+}
+
+// OnComplete implements Manager.
+func (q *Quasar) OnComplete(t *Task) {
+	delete(q.state, t.W.ID)
+	q.drainQueue()
+}
+
+// OnEvicted implements Manager: evicted best-effort tasks rejoin the queue.
+func (q *Quasar) OnEvicted(t *Task) {
+	q.queue = append(q.queue, t)
+}
+
+// drainQueue retries queued tasks in order.
+func (q *Quasar) drainQueue() {
+	var still []*Task
+	for _, t := range q.queue {
+		if t.Status == StatusCompleted {
+			continue
+		}
+		ok := false
+		if t.W.BestEffort {
+			ok = q.placeBestEffort(t)
+		} else if st, has := q.state[t.W.ID]; has {
+			ok = q.tryPlace(t, st)
+		}
+		if !ok {
+			still = append(still, t)
+		}
+	}
+	q.queue = still
+}
+
+// OnTick implements Manager: monitor every running workload and adjust
+// allocations that deviate from their constraints (§4.1).
+func (q *Quasar) OnTick(now float64) {
+	if !q.opts.DisableAdaptation {
+		for _, t := range q.rt.Tasks() {
+			if t.Status != StatusRunning || t.W.BestEffort {
+				continue
+			}
+			st, ok := q.state[t.W.ID]
+			if !ok {
+				continue
+			}
+			q.monitor(t, st)
+		}
+	}
+	if q.opts.EnablePartitioning {
+		q.managePartitions()
+	}
+	if q.opts.ProactivePeriodSecs > 0 {
+		period := q.opts.ProactivePeriodSecs
+		// Fire on ticks aligned with the probe period.
+		tick := q.rt.opts.TickSecs
+		if math.Mod(now+tick/2, period) < tick {
+			q.proactiveProbe(now)
+		}
+	}
+	q.drainQueue()
+}
+
+// adjustCooldownSecs spaces allocation adjustments: Quasar "adjusts
+// allocations in a conservative manner" (§4.1).
+const adjustCooldownSecs = 30
+
+// monitor compares measured performance with the needed level and adjusts.
+func (q *Quasar) monitor(t *Task, st *taskState) {
+	need := q.needPerf(t, st)
+	if need <= 0 {
+		return
+	}
+	now := q.rt.Eng.Now()
+	measured := q.rt.MeasuredPerf(t)
+	// Feedback loop (§3.2): fold the measured-vs-estimated deviation back
+	// into the estimates before deciding how to adjust.
+	st.est.CorrectWith(measured, q.nodeChoices(t))
+	switch {
+	case measured < 0.95*need:
+		st.below++
+		if now-st.lastAdjust < adjustCooldownSecs {
+			return
+		}
+		st.lastAdjust = now
+		q.scaleUpOrOut(t, st, need, measured)
+		if st.below >= 3 && now-st.lastReclass > 120 {
+			// Persistent shortfall: misclassification or phase change —
+			// reclassify from scratch (§4.1).
+			st.lastReclass = now
+			q.reclassify(t, st, "reactive")
+		}
+		if st.below >= 6 && measured < 0.6*need && now-st.lastResched > 300 {
+			// Adjustment is exhausted (e.g. stuck on inferior servers at
+			// the node cap): reschedule from scratch with the refreshed
+			// estimates ("or reclassifies and reschedules the workload
+			// from scratch", §3.1).
+			st.lastResched = now
+			st.below = 0
+			q.reschedule(t, st)
+		}
+	case measured > 1.8*need:
+		st.below = 0
+		if now-st.lastAdjust < adjustCooldownSecs {
+			return
+		}
+		// Never shrink a batch job that is close to its deadline or
+		// nearly done: reclaiming the tail only drags it out.
+		if t.W.Type.Class() == perfmodel.Analytics {
+			if st.deadline-now < 300 || q.rt.ProgressFraction(t) > 0.85 {
+				return
+			}
+		}
+		st.lastAdjust = now
+		q.reclaim(t, st, need, measured)
+	default:
+		st.below = 0
+	}
+}
+
+// allocCostPerHour prices the task's current allocation.
+func (q *Quasar) allocCostPerHour(t *Task) float64 {
+	cost := 0.0
+	for _, id := range t.Servers() {
+		pl := t.placements[id]
+		cost += float64(pl.Alloc.Cores) * sched.CostPerCoreHour(pl.Server.Platform)
+	}
+	return cost
+}
+
+// scaleUpOrOut grows the allocation: scale-up on current servers first
+// (cheapest, no migration), then scale-out via the scheduler.
+func (q *Quasar) scaleUpOrOut(t *Task, st *taskState, need, measured float64) {
+	// Respect the workload's cost budget (§4.4): never grow past it.
+	if cap := t.W.MaxCostPerHour; cap > 0 && q.allocCostPerHour(t) >= cap {
+		return
+	}
+	// Scale up in place.
+	for _, id := range t.Servers() {
+		pl := t.placements[id]
+		srv := pl.Server
+		freeC, freeM := srv.FreeCores(), srv.FreeMemGB()
+		// Evict best-effort residents if that frees capacity.
+		if freeC == 0 {
+			for _, other := range srv.Placements() {
+				if other.BestEffort {
+					_ = q.rt.Evict(other.WorkloadID)
+				}
+			}
+			freeC, freeM = srv.FreeCores(), srv.FreeMemGB()
+		}
+		if freeC > 0 || freeM > 1 {
+			grow := cluster.Alloc{
+				Cores:    pl.Alloc.Cores + minInt(freeC, pl.Alloc.Cores),
+				MemoryGB: pl.Alloc.MemoryGB + math.Min(freeM, pl.Alloc.MemoryGB),
+			}
+			if grow.Cores > srv.Platform.Cores {
+				grow.Cores = srv.Platform.Cores
+			}
+			// Never grow past the cost budget.
+			if cap := t.W.MaxCostPerHour; cap > 0 {
+				delta := float64(grow.Cores-pl.Alloc.Cores) * sched.CostPerCoreHour(srv.Platform)
+				if q.allocCostPerHour(t)+delta > cap {
+					continue
+				}
+			}
+			// Only grow when the estimates expect a real benefit: doubling
+			// cores a workload cannot exploit just strands them.
+			pidx := q.rt.Cl.PlatformIndex(srv.Platform.Name)
+			press := srv.PressureOn(t.W.ID)
+			cur := st.est.NodePerf(pidx, pl.Alloc, press)
+			grown := st.est.NodePerf(pidx, grow, press)
+			if grown > 1.05*cur {
+				if q.rt.Resize(t, srv, grow) == nil {
+					q.retuneConfig(t, st, grow)
+				}
+			}
+		}
+		if q.rt.MeasuredPerf(t) >= need {
+			return
+		}
+	}
+	// Scale out: ask the scheduler for the shortfall.
+	if !t.W.Type.Distributed() || t.NumNodes() >= q.opts.MaxNodesPerJob {
+		return
+	}
+	shortfall := need - measured
+	if shortfall <= 0 {
+		return
+	}
+	req := &sched.Request{
+		W: t.W, Est: st.est, NeedPerf: shortfall,
+		MaxNodes: q.opts.MaxNodesPerJob - t.NumNodes(),
+		EstOf:    q.estOf,
+	}
+	if cap := t.W.MaxCostPerHour; cap > 0 {
+		remaining := cap - q.allocCostPerHour(t)
+		if remaining <= 0 {
+			return
+		}
+		req.MaxCostPerHour = remaining
+	}
+	asn, err := q.sch.Schedule(req)
+	if err != nil {
+		return
+	}
+	for _, ev := range asn.Evictions {
+		_ = q.rt.Evict(ev)
+	}
+	have := map[int]bool{}
+	for _, id := range t.Servers() {
+		have[id] = true
+	}
+	for _, n := range asn.Nodes {
+		if have[n.Server.ID] {
+			continue // already on this server; Place would fail
+		}
+		_ = q.rt.Place(t, n.Server, n.Alloc)
+	}
+}
+
+// retuneConfig re-tunes framework parameters after an in-place resize so
+// mapper counts and heaps track the new allocation.
+func (q *Quasar) retuneConfig(t *Task, st *taskState, alloc cluster.Alloc) {
+	if t.W.Config == nil {
+		return
+	}
+	diskSensitive := st.est.Tol[cluster.ResDiskIO] < 0.5
+	cfg := classify.TunedConfig(alloc.Cores, alloc.MemoryGB, diskSensitive)
+	t.W.Config = &cfg
+}
+
+// nodeChoices captures the task's live assignment in the scheduler's terms.
+func (q *Quasar) nodeChoices(t *Task) []classify.NodeChoice {
+	ids := t.Servers()
+	out := make([]classify.NodeChoice, 0, len(ids))
+	for _, id := range ids {
+		pl := t.placements[id]
+		out = append(out, classify.NodeChoice{
+			PlatformIdx: q.rt.Cl.PlatformIndex(pl.Server.Platform.Name),
+			Alloc:       pl.Alloc,
+			Pressure:    pl.Server.PressureOn(t.W.ID),
+		})
+	}
+	return out
+}
+
+// reschedule releases the workload's current assignment and places it anew
+// with current estimates. Analytics frameworks keep their progress
+// (completed tasks live in the DFS); stateful services migrate microshards,
+// which costs milliseconds per shard and is absorbed within a tick.
+func (q *Quasar) reschedule(t *Task, st *taskState) {
+	q.rt.Release(t)
+	if !q.tryPlace(t, st) {
+		t.Status = StatusQueued
+		q.queue = append(q.queue, t)
+	}
+}
+
+// reclaim shrinks over-provisioned allocations, releasing idle resources
+// for best-effort work.
+func (q *Quasar) reclaim(t *Task, st *taskState, need, measured float64) {
+	excess := measured / math.Max(need, 1e-9)
+	if excess < 1.5 {
+		return
+	}
+	// Drop a whole node when several are allocated; otherwise halve the
+	// largest allocation.
+	ids := t.Servers()
+	if len(ids) > 1 {
+		last := ids[len(ids)-1]
+		_ = q.rt.RemoveNode(t, last)
+		return
+	}
+	pl := t.placements[ids[0]]
+	if pl.Alloc.Cores > 1 {
+		shrunk := cluster.Alloc{
+			Cores:    maxInt(1, pl.Alloc.Cores/2),
+			MemoryGB: math.Max(1, pl.Alloc.MemoryGB/2),
+		}
+		_ = q.rt.Resize(t, pl.Server, shrunk)
+	}
+}
+
+// reclassify re-profiles a workload in place and reschedules if the fresh
+// estimates demand it.
+func (q *Quasar) reclassify(t *Task, st *taskState, source string) {
+	q.PhaseChangesDetected++
+	q.PhaseEvents = append(q.PhaseEvents, PhaseEvent{Time: q.rt.Eng.Now(), TaskID: t.W.ID, Source: source})
+	prober := classify.NewGroundTruthProber(t.W, q.rt.Cl.Platforms, q.rng.Stream("reprobe/"+t.W.ID))
+	st.est = q.engine.Reclassify(t.W, prober)
+}
+
+// proactiveProbe samples a fraction of active workloads and injects
+// interference microbenchmarks to detect phase changes before they violate
+// QoS (§4.1).
+func (q *Quasar) proactiveProbe(now float64) {
+	var running []*Task
+	for _, t := range q.rt.Tasks() {
+		if t.Status == StatusRunning && !t.W.BestEffort {
+			running = append(running, t)
+		}
+	}
+	if len(running) == 0 {
+		return
+	}
+	n := int(math.Ceil(q.opts.ProactiveFraction * float64(len(running))))
+	rng := q.rng.Stream("proactive")
+	for _, idx := range rng.Perm(len(running))[:n] {
+		t := running[idx]
+		st := q.state[t.W.ID]
+		if st == nil {
+			continue
+		}
+		// Partial in-place interference classification: re-probe two
+		// random resources and compare with the standing estimates.
+		prober := classify.NewGroundTruthProber(t.W, q.rt.Cl.Platforms, q.rng.Stream("pp/"+t.W.ID))
+		changed := 0
+		for _, r := range rng.Perm(int(cluster.NumResources))[:2] {
+			fresh := prober.ToleratedIntensity(cluster.Resource(r))
+			old := st.est.Tol[r]
+			if old > 0 && math.Abs(fresh-old)/math.Max(old, 0.05) > 0.35 {
+				changed++
+			}
+		}
+		if changed >= 2 {
+			q.reclassify(t, st, "proactive")
+		}
+	}
+}
+
+// QueueLen reports the admission-control queue length.
+func (q *Quasar) QueueLen() int { return len(q.queue) }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

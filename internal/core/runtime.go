@@ -1,0 +1,471 @@
+// Package core contains the simulated cluster runtime and the Quasar
+// manager itself. The runtime executes workloads against the ground-truth
+// performance model: it integrates batch progress, serves offered load on
+// latency services, maintains interference pressure on servers, and samples
+// utilization — the "physical world" every manager (Quasar and the
+// baselines) operates in through the same narrow interface.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"quasar/internal/cluster"
+	"quasar/internal/loadgen"
+	"quasar/internal/metrics"
+	"quasar/internal/perfmodel"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// Status is a task's lifecycle state.
+type Status int
+
+const (
+	StatusQueued Status = iota
+	StatusProfiling
+	StatusRunning
+	StatusCompleted
+	StatusRejected
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusProfiling:
+		return "profiling"
+	case StatusRunning:
+		return "running"
+	case StatusCompleted:
+		return "completed"
+	case StatusRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Task is a submitted workload plus its runtime state.
+type Task struct {
+	W      *workload.Instance
+	Status Status
+
+	SubmitAt float64
+	StartAt  float64
+	DoneAt   float64
+
+	// Progress is completed work units (batch workloads).
+	Progress float64
+
+	// Load is the offered-load pattern for latency services.
+	Load loadgen.Pattern
+
+	// Service statistics, updated every tick while running.
+	LastAchievedQPS float64
+	LastOfferedQPS  float64
+	LastP99US       float64
+	QoSFrac         *metrics.Series // fraction of queries meeting QoS per tick
+	QPSSeries       *metrics.Series
+	LatencyDist     *metrics.Distribution // per-query latency samples (weighted)
+
+	// Batch statistics.
+	RateSeries *metrics.Series
+
+	// UsedPlatforms accumulates the platform names the task was ever
+	// placed on (Table 3's "server type" row).
+	UsedPlatforms map[string]bool
+
+	// PeakCores is the largest simultaneous core allocation observed.
+	PeakCores int
+
+	placements map[int]*cluster.Placement // by server ID
+}
+
+// Servers returns the IDs of servers currently hosting the task, ascending.
+func (t *Task) Servers() []int {
+	ids := make([]int, 0, len(t.placements))
+	for id := range t.placements {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	return ids
+}
+
+// NumNodes returns the current allocation width.
+func (t *Task) NumNodes() int { return len(t.placements) }
+
+// TotalCores returns the currently allocated cores.
+func (t *Task) TotalCores() int {
+	n := 0
+	for _, pl := range t.placements {
+		n += pl.Alloc.Cores
+	}
+	return n
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Manager is the decision-maker plugged into the runtime. The runtime
+// drives it with arrival, completion, and tick callbacks; the manager acts
+// through the runtime's placement API.
+type Manager interface {
+	Name() string
+	// OnSubmit is called when a workload arrives.
+	OnSubmit(t *Task)
+	// OnComplete is called when a batch workload finishes.
+	OnComplete(t *Task)
+	// OnEvicted is called when one of the manager's placements was evicted
+	// by the runtime on another manager action.
+	OnEvicted(t *Task)
+	// OnTick is called every monitoring interval.
+	OnTick(now float64)
+}
+
+// Options configures the runtime.
+type Options struct {
+	TickSecs   float64 // progress/monitoring granularity (default 5s)
+	SampleSecs float64 // utilization sampling period (default 60s); 0 disables
+	Seed       int64
+}
+
+// Runtime is the simulated cluster world.
+type Runtime struct {
+	Eng *sim.Engine
+	Cl  *cluster.Cluster
+	RNG *sim.RNG
+
+	opts    Options
+	manager Manager
+
+	tasks map[string]*Task
+	order []string
+
+	// CPUHeat, MemHeat, DiskHeat sample per-server utilization over time
+	// (Figs. 7, 10, 11). AllocSeries and UsedSeries track aggregate
+	// allocated vs actually-used cores (Fig. 11d).
+	CPUHeat     *metrics.Heatmap
+	MemHeat     *metrics.Heatmap
+	DiskHeat    *metrics.Heatmap
+	AllocSeries metrics.Series
+	UsedSeries  metrics.Series
+
+	stopTick, stopSample func()
+}
+
+// NewRuntime builds a runtime over the cluster.
+func NewRuntime(cl *cluster.Cluster, opts Options) *Runtime {
+	if opts.TickSecs <= 0 {
+		opts.TickSecs = 5
+	}
+	if opts.SampleSecs < 0 {
+		opts.SampleSecs = 0
+	}
+	rt := &Runtime{
+		Eng:      sim.NewEngine(),
+		Cl:       cl,
+		RNG:      sim.NewRNG(opts.Seed),
+		opts:     opts,
+		tasks:    make(map[string]*Task),
+		CPUHeat:  metrics.NewHeatmap(len(cl.Servers)),
+		MemHeat:  metrics.NewHeatmap(len(cl.Servers)),
+		DiskHeat: metrics.NewHeatmap(len(cl.Servers)),
+	}
+	return rt
+}
+
+// SetManager installs the decision-maker and (re)starts the tick loops.
+// Installing a new manager mid-run (a master failover) replaces the old
+// one's loops cleanly.
+func (rt *Runtime) SetManager(m Manager) {
+	rt.Stop()
+	rt.manager = m
+	now := rt.Eng.Now()
+	rt.stopTick = rt.Eng.Ticker(now+rt.opts.TickSecs, rt.opts.TickSecs, rt.tick)
+	if rt.opts.SampleSecs > 0 {
+		rt.stopSample = rt.Eng.Ticker(now+rt.opts.SampleSecs, rt.opts.SampleSecs, rt.sample)
+	}
+}
+
+// Manager returns the installed manager.
+func (rt *Runtime) Manager() Manager { return rt.manager }
+
+// Submit schedules a workload arrival at time at.
+func (rt *Runtime) Submit(w *workload.Instance, at float64, load loadgen.Pattern) *Task {
+	t := &Task{
+		W:             w,
+		Status:        StatusQueued,
+		SubmitAt:      at,
+		Load:          load,
+		QoSFrac:       &metrics.Series{Name: w.ID + "/qos"},
+		QPSSeries:     &metrics.Series{Name: w.ID + "/qps"},
+		RateSeries:    &metrics.Series{Name: w.ID + "/rate"},
+		LatencyDist:   &metrics.Distribution{},
+		UsedPlatforms: make(map[string]bool),
+		placements:    make(map[int]*cluster.Placement),
+	}
+	rt.tasks[w.ID] = t
+	rt.order = append(rt.order, w.ID)
+	rt.Eng.Schedule(at, func() { rt.manager.OnSubmit(t) })
+	return t
+}
+
+// Task returns the task for a workload ID.
+func (rt *Runtime) Task(id string) *Task { return rt.tasks[id] }
+
+// Tasks returns all tasks in submission order.
+func (rt *Runtime) Tasks() []*Task {
+	out := make([]*Task, 0, len(rt.order))
+	for _, id := range rt.order {
+		out = append(out, rt.tasks[id])
+	}
+	return out
+}
+
+// Place establishes the task's placements. Any existing placements are kept
+// (use it to add nodes); it fails atomically per node.
+func (rt *Runtime) Place(t *Task, server *cluster.Server, alloc cluster.Alloc) error {
+	caused := t.W.CausedPressure(server.Platform, alloc)
+	pl, err := server.Place(t.W.ID, alloc, caused, t.W.BestEffort)
+	if err != nil {
+		return err
+	}
+	t.placements[server.ID] = pl
+	t.UsedPlatforms[server.Platform.Name] = true
+	if tc := t.TotalCores(); tc > t.PeakCores {
+		t.PeakCores = tc
+	}
+	if t.Status != StatusRunning {
+		t.Status = StatusRunning
+		t.StartAt = rt.Eng.Now()
+	}
+	return nil
+}
+
+// Resize changes a task's allocation on one server.
+func (rt *Runtime) Resize(t *Task, server *cluster.Server, alloc cluster.Alloc) error {
+	caused := t.W.CausedPressure(server.Platform, alloc)
+	if err := server.Resize(t.W.ID, alloc, caused); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RemoveNode releases the task's share of one server (scale-in).
+func (rt *Runtime) RemoveNode(t *Task, serverID int) error {
+	pl, ok := t.placements[serverID]
+	if !ok {
+		return fmt.Errorf("core: %s not on server %d", t.W.ID, serverID)
+	}
+	if err := pl.Server.Remove(t.W.ID); err != nil {
+		return err
+	}
+	delete(t.placements, serverID)
+	return nil
+}
+
+// Release frees all of the task's resources (in deterministic order, so
+// floating-point pressure bookkeeping is reproducible).
+func (rt *Runtime) Release(t *Task) {
+	for _, id := range t.Servers() {
+		_ = rt.RemoveNode(t, id)
+	}
+}
+
+// Evict displaces a best-effort task back to the queue and informs the
+// manager.
+func (rt *Runtime) Evict(id string) error {
+	t, ok := rt.tasks[id]
+	if !ok {
+		return fmt.Errorf("core: evict of unknown task %s", id)
+	}
+	if !t.W.BestEffort {
+		return fmt.Errorf("core: refusing to evict non-best-effort task %s", id)
+	}
+	rt.Release(t)
+	t.Status = StatusQueued
+	rt.manager.OnEvicted(t)
+	return nil
+}
+
+// nodesOf assembles the perfmodel view of the task's current allocation.
+func (rt *Runtime) nodesOf(t *Task) []perfmodel.NodeAlloc {
+	ids := t.Servers()
+	nodes := make([]perfmodel.NodeAlloc, 0, len(ids))
+	for _, id := range ids {
+		pl := t.placements[id]
+		nodes = append(nodes, perfmodel.NodeAlloc{
+			Platform: pl.Server.Platform,
+			Alloc:    pl.Alloc,
+			Pressure: pl.Server.PressureOn(t.W.ID),
+		})
+	}
+	return nodes
+}
+
+// TrueRate returns the task's current true work rate (batch) given live
+// interference.
+func (rt *Runtime) TrueRate(t *Task) float64 {
+	return t.W.JobRate(rt.nodesOf(t))
+}
+
+// TrueCapacityQPS returns a service's current true capacity.
+func (rt *Runtime) TrueCapacityQPS(t *Task) float64 {
+	return t.W.CapacityQPS(rt.nodesOf(t))
+}
+
+// MeasuredPerf returns a noisy observation of current performance in the
+// task's own metric: work rate for batch/single-node, QPS-at-QoS for
+// services. This is what managers see.
+func (rt *Runtime) MeasuredPerf(t *Task) float64 {
+	var v float64
+	if t.W.Type.Class() == perfmodel.LatencyCritical {
+		capQPS := rt.TrueCapacityQPS(t)
+		bound := t.W.Target.LatencyUS
+		if bound <= 0 {
+			bound = t.W.Genome.ServiceUS * 4
+		}
+		v = t.W.Genome.QPSAtQoS(capQPS, bound)
+	} else {
+		v = rt.TrueRate(t)
+	}
+	return rt.RNG.Stream("measure").Jitter(v, t.W.Genome.NoiseCV)
+}
+
+// ProgressFraction returns the fraction of a batch workload completed.
+// Frameworks report completion percentage, so managers may observe it.
+func (rt *Runtime) ProgressFraction(t *Task) float64 {
+	if t.W.Genome.Work <= 0 {
+		return 0
+	}
+	f := t.Progress / t.W.Genome.Work
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// OfferedLoad returns the service's current offered QPS.
+func (rt *Runtime) OfferedLoad(t *Task) float64 {
+	if t.Load == nil {
+		return 0
+	}
+	return t.Load.Load(rt.Eng.Now())
+}
+
+// tick advances every running task by one interval.
+func (rt *Runtime) tick(now float64) {
+	dt := rt.opts.TickSecs
+	for _, id := range rt.order {
+		t := rt.tasks[id]
+		if t.Status != StatusRunning {
+			continue
+		}
+		switch t.W.Type.Class() {
+		case perfmodel.LatencyCritical:
+			rt.tickService(t, now)
+		default:
+			rt.tickBatch(t, now, dt)
+		}
+	}
+	if rt.manager != nil {
+		rt.manager.OnTick(now)
+	}
+}
+
+func (rt *Runtime) tickBatch(t *Task, now, dt float64) {
+	rate := rt.TrueRate(t)
+	t.Progress += rate * dt
+	t.RateSeries.Add(now, rate)
+	for _, pl := range t.placements {
+		pl.ActiveCores = t.W.Genome.UsefulCores(pl.Alloc, 1.0)
+		if cfg := t.W.Config; cfg != nil && float64(cfg.MappersPerNode) < pl.ActiveCores {
+			pl.ActiveCores = float64(cfg.MappersPerNode)
+		}
+		pl.ActiveMemGB = t.W.Genome.UsefulMemGB(pl.Alloc)
+		pl.ActiveDisk = pl.Caused[cluster.ResDiskIO]
+	}
+	if t.Progress >= t.W.Genome.Work {
+		t.Status = StatusCompleted
+		t.DoneAt = now
+		rt.Release(t)
+		rt.manager.OnComplete(t)
+	}
+}
+
+func (rt *Runtime) tickService(t *Task, now float64) {
+	lambda := rt.OfferedLoad(t)
+	capQPS := rt.TrueCapacityQPS(t)
+	achieved := t.W.Genome.AchievedQPS(lambda, capQPS)
+	_, p99 := t.W.Genome.Latency(lambda, capQPS)
+
+	t.LastOfferedQPS = lambda
+	t.LastAchievedQPS = achieved
+	t.LastP99US = p99
+	t.QPSSeries.Add(now, achieved)
+	// Skip the placement warm-up: latency percentiles should describe the
+	// served steady state, not the seconds before capacity exists.
+	if now-t.StartAt > 600 && t.LatencyDist.N() < 2_000_000 {
+		t.LatencyDist.Add(p99)
+	}
+
+	bound := t.W.Target.LatencyUS
+	met := 0.0
+	if bound <= 0 || p99 <= bound {
+		met = 1.0
+	}
+	if lambda > capQPS && lambda > 0 {
+		met = math.Min(met, capQPS/lambda)
+	}
+	t.QoSFrac.Add(now, met)
+
+	loadFactor := 0.0
+	if capQPS > 0 {
+		loadFactor = math.Min(1, lambda/capQPS)
+	}
+	for _, pl := range t.placements {
+		pl.ActiveCores = t.W.Genome.UsefulCores(pl.Alloc, loadFactor)
+		pl.ActiveMemGB = t.W.Genome.UsefulMemGB(pl.Alloc)
+		pl.ActiveDisk = pl.Caused[cluster.ResDiskIO] * loadFactor
+	}
+}
+
+// sample records per-server utilization.
+func (rt *Runtime) sample(now float64) {
+	cpu := make([]float64, len(rt.Cl.Servers))
+	mem := make([]float64, len(rt.Cl.Servers))
+	dsk := make([]float64, len(rt.Cl.Servers))
+	allocCores, usedCores := 0.0, 0.0
+	for i, s := range rt.Cl.Servers {
+		cpu[i] = s.CPUUtilization()
+		mem[i] = s.MemUtilization()
+		dsk[i] = s.DiskUtilization()
+		allocCores += float64(s.UsedCores())
+		usedCores += cpu[i] * float64(s.Platform.Cores)
+	}
+	rt.CPUHeat.Sample(now, cpu)
+	rt.MemHeat.Sample(now, mem)
+	rt.DiskHeat.Sample(now, dsk)
+	total := float64(rt.Cl.TotalCores())
+	rt.AllocSeries.Add(now, allocCores/total)
+	rt.UsedSeries.Add(now, usedCores/total)
+}
+
+// Run advances the simulation until the given virtual time.
+func (rt *Runtime) Run(until float64) { rt.Eng.Run(until) }
+
+// Stop cancels the periodic loops (call when a scenario ends to let the
+// event queue drain).
+func (rt *Runtime) Stop() {
+	if rt.stopTick != nil {
+		rt.stopTick()
+	}
+	if rt.stopSample != nil {
+		rt.stopSample()
+	}
+}

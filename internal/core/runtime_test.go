@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"quasar/internal/cluster"
+	"quasar/internal/loadgen"
+	"quasar/internal/perfmodel"
+	"quasar/internal/workload"
+)
+
+// nullManager places every workload on fixed servers immediately.
+type nullManager struct {
+	rt     *Runtime
+	alloc  cluster.Alloc
+	server int
+	nodes  int
+}
+
+func (m *nullManager) Name() string { return "null" }
+
+func (m *nullManager) OnSubmit(t *Task) {
+	for i := 0; i < m.nodes; i++ {
+		srv := m.rt.Cl.Servers[(m.server+i)%len(m.rt.Cl.Servers)]
+		if err := m.rt.Place(t, srv, m.alloc); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (m *nullManager) OnComplete(t *Task) {}
+func (m *nullManager) OnEvicted(t *Task)  {}
+func (m *nullManager) OnTick(now float64) {}
+
+func newTestRuntime(t testing.TB) (*Runtime, *workload.Universe) {
+	t.Helper()
+	platforms := cluster.LocalPlatforms()
+	cl, err := cluster.New(platforms, []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(cl, Options{TickSecs: 5, SampleSecs: 60, Seed: 3})
+	u := workload.NewUniverse(platforms, 31, 3)
+	return rt, u
+}
+
+func TestBatchRunsToCompletion(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w := u.New(workload.Spec{Type: workload.SingleNode, Family: -1})
+	w.Genome.Work = 1000
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 4, MemoryGB: 8}, server: 36, nodes: 1}
+	rt.SetManager(m)
+	task := rt.Submit(w, 0, nil)
+	rt.Run(100000)
+
+	if task.Status != StatusCompleted {
+		t.Fatalf("status %v, want completed", task.Status)
+	}
+	// Completion time should equal work / true rate at that allocation.
+	srv := rt.Cl.Servers[36]
+	rate := w.NodeRate(srv.Platform, cluster.Alloc{Cores: 4, MemoryGB: 8}, cluster.ResVec{})
+	wantSecs := 1000 / rate
+	got := task.DoneAt - task.StartAt
+	if math.Abs(got-wantSecs) > wantSecs*0.1+10 {
+		t.Fatalf("completion %.0fs, want ~%.0fs", got, wantSecs)
+	}
+	// Resources released.
+	if srv.UsedCores() != 0 {
+		t.Fatal("resources not released after completion")
+	}
+}
+
+func TestServiceServesLoad(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w := u.New(workload.Spec{Type: workload.Memcached, Family: -1, MaxNodes: 4})
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 12, MemoryGB: 24}, server: 36, nodes: 2}
+	rt.SetManager(m)
+	srv := rt.Cl.Servers[36]
+	_ = srv
+	task := rt.Submit(w, 0, loadgen.Flat{QPS: w.Target.QPS * 0.5})
+	rt.Run(600)
+	rt.Stop()
+
+	if task.LastAchievedQPS <= 0 {
+		t.Fatal("service served nothing")
+	}
+	if math.Abs(task.LastAchievedQPS-w.Target.QPS*0.5) > 1 {
+		t.Fatalf("achieved %.0f, offered %.0f", task.LastAchievedQPS, w.Target.QPS*0.5)
+	}
+	if task.QoSFrac.Len() == 0 || task.QPSSeries.Len() == 0 {
+		t.Fatal("service series not recorded")
+	}
+}
+
+func TestServiceSheddingUnderOverload(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w := u.New(workload.Spec{Type: workload.Memcached, Family: -1, MaxNodes: 4})
+	// One tiny node: will saturate.
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 1, MemoryGB: 2}, server: 0, nodes: 1}
+	rt.SetManager(m)
+	task := rt.Submit(w, 0, loadgen.Flat{QPS: w.Target.QPS * 10})
+	rt.Run(300)
+	rt.Stop()
+
+	if task.LastAchievedQPS >= task.LastOfferedQPS {
+		t.Fatal("overloaded service should shed load")
+	}
+	if task.QoSFrac.Mean() > 0.5 {
+		t.Fatalf("overloaded service met QoS %v of the time", task.QoSFrac.Mean())
+	}
+}
+
+func TestInterferenceSlowsNeighbour(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w1 := u.New(workload.Spec{Type: workload.SingleNode, Family: -1})
+	w1.Genome.Work = 1e9 // effectively endless
+	w2 := u.New(workload.Spec{Type: workload.SingleNode, Family: -1})
+	w2.Genome.Work = 1e9
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 8, MemoryGB: 12}, server: 36, nodes: 1}
+	rt.SetManager(m)
+	t1 := rt.Submit(w1, 0, nil)
+	rt.Run(50)
+	soloRate := rt.TrueRate(t1)
+	t2 := rt.Submit(w2, 60, nil)
+	rt.Run(120)
+	rt.Stop()
+	colocRate := rt.TrueRate(t1)
+	if colocRate >= soloRate {
+		t.Fatalf("colocation did not slow the neighbour: %.3f -> %.3f", soloRate, colocRate)
+	}
+	_ = t2
+}
+
+func TestEvictOnlyBestEffort(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w := u.New(workload.Spec{Type: workload.SingleNode, Family: -1})
+	w.Genome.Work = 1e9
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 2, MemoryGB: 4}, server: 0, nodes: 1}
+	rt.SetManager(m)
+	rt.Submit(w, 0, nil)
+	rt.Run(10)
+	if err := rt.Evict(w.ID); err == nil {
+		t.Fatal("evicted a non-best-effort task")
+	}
+	be := u.New(workload.Spec{Type: workload.SingleNode, Family: -1, BestEffort: true})
+	be.Genome.Work = 1e9
+	m.server = 1 // server 0 is full with w's placement
+	rt.Submit(be, 20, nil)
+	rt.Run(30)
+	if err := rt.Evict(be.ID); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Task(be.ID).Status != StatusQueued {
+		t.Fatal("evicted task not queued")
+	}
+	rt.Stop()
+}
+
+func TestMeasuredPerfTracksTruth(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w := u.New(workload.Spec{Type: workload.SingleNode, Family: -1})
+	w.Genome.Work = 1e9
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 4, MemoryGB: 8}, server: 36, nodes: 1}
+	rt.SetManager(m)
+	task := rt.Submit(w, 0, nil)
+	rt.Run(20)
+	rt.Stop()
+	truth := rt.TrueRate(task)
+	sum := 0.0
+	const n = 200
+	for i := 0; i < n; i++ {
+		sum += rt.MeasuredPerf(task)
+	}
+	if mean := sum / n; math.Abs(mean-truth)/truth > 0.05 {
+		t.Fatalf("measured mean %.3f vs truth %.3f", mean, truth)
+	}
+}
+
+func TestUtilizationSampling(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w := u.New(workload.Spec{Type: workload.SingleNode, Family: -1})
+	w.Genome.Work = 1e9
+	w.Genome.Parallelism = 4
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 8, MemoryGB: 12}, server: 36, nodes: 1}
+	rt.SetManager(m)
+	rt.Submit(w, 0, nil)
+	rt.Run(300)
+	rt.Stop()
+	if len(rt.CPUHeat.Times) < 4 {
+		t.Fatalf("only %d samples", len(rt.CPUHeat.Times))
+	}
+	// Allocated > used because parallelism 4 < 8 allocated cores.
+	if rt.AllocSeries.Vals[len(rt.AllocSeries.Vals)-1] <= rt.UsedSeries.Vals[len(rt.UsedSeries.Vals)-1] {
+		t.Fatal("allocated share should exceed used share for a low-parallelism job")
+	}
+}
+
+func TestResizeChangesRate(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w := u.New(workload.Spec{Type: workload.SingleNode, Family: -1})
+	w.Genome.Work = 1e9
+	w.Genome.Parallelism = 0
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 2, MemoryGB: 4}, server: 36, nodes: 1}
+	rt.SetManager(m)
+	task := rt.Submit(w, 0, nil)
+	rt.Run(10)
+	before := rt.TrueRate(task)
+	if err := rt.Resize(task, rt.Cl.Servers[36], cluster.Alloc{Cores: 12, MemoryGB: 24}); err != nil {
+		t.Fatal(err)
+	}
+	after := rt.TrueRate(task)
+	rt.Stop()
+	if after <= before {
+		t.Fatalf("resize up did not speed up: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestRemoveNodeScaleIn(t *testing.T) {
+	rt, u := newTestRuntime(t)
+	w := u.New(workload.Spec{Type: workload.Hadoop, Family: -1, MaxNodes: 4})
+	w.Genome.Work = 1e9
+	m := &nullManager{rt: rt, alloc: cluster.Alloc{Cores: 4, MemoryGB: 8}, server: 30, nodes: 3}
+	rt.SetManager(m)
+	task := rt.Submit(w, 0, nil)
+	rt.Run(10)
+	if task.NumNodes() != 3 {
+		t.Fatalf("%d nodes", task.NumNodes())
+	}
+	ids := task.Servers()
+	if err := rt.RemoveNode(task, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if task.NumNodes() != 2 {
+		t.Fatal("scale-in failed")
+	}
+	if err := rt.RemoveNode(task, ids[0]); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	rt.Stop()
+}
+
+var _ = perfmodel.Analytics

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"quasar/internal/sim"
+)
+
+func runStudy(t *testing.T, seed int64) map[string]StragglerResult {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	detectors := []StragglerDetector{
+		NewHadoopDetector(30),
+		NewLATEDetector(20),
+		NewQuasarDetector(5, rng.Stream("probe")),
+	}
+	res := RunStragglerStudy(40, 0.15, 0.25, detectors, rng.Stream("study"))
+	out := map[string]StragglerResult{}
+	for _, r := range res {
+		out[r.Detector] = r
+	}
+	return out
+}
+
+func TestStragglerDetectorsFindStragglers(t *testing.T) {
+	res := runStudy(t, 7)
+	for name, r := range res {
+		if r.DetectedFrac < 0.8 {
+			t.Errorf("%s detected only %.0f%% of stragglers", name, r.DetectedFrac*100)
+		}
+		if r.MeanDetectionSecs <= 0 {
+			t.Errorf("%s has non-positive detection latency", name)
+		}
+	}
+}
+
+func TestQuasarDetectsEarlier(t *testing.T) {
+	// §4.3: Quasar detects stragglers 19% earlier than Hadoop and 8%
+	// earlier than LATE. Verify the ordering and rough magnitudes over
+	// several seeds.
+	qBeatsH, qBeatsL := 0, 0
+	trials := 5
+	var hSum, lSum, qSum float64
+	for seed := int64(1); seed <= int64(trials); seed++ {
+		res := runStudy(t, seed)
+		h, l, q := res["hadoop"], res["late"], res["quasar"]
+		hSum += h.MeanDetectionSecs
+		lSum += l.MeanDetectionSecs
+		qSum += q.MeanDetectionSecs
+		if q.MeanDetectionSecs < h.MeanDetectionSecs {
+			qBeatsH++
+		}
+		if q.MeanDetectionSecs < l.MeanDetectionSecs {
+			qBeatsL++
+		}
+	}
+	if qBeatsH < trials-1 {
+		t.Errorf("quasar beat hadoop in only %d/%d trials (means: q=%.1f h=%.1f)",
+			qBeatsH, trials, qSum/float64(trials), hSum/float64(trials))
+	}
+	if qBeatsL < trials-1 {
+		t.Errorf("quasar beat LATE in only %d/%d trials (means: q=%.1f l=%.1f)",
+			qBeatsL, trials, qSum/float64(trials), lSum/float64(trials))
+	}
+	// LATE should itself beat stock Hadoop.
+	if lSum >= hSum {
+		t.Errorf("LATE (%.1f) not earlier than Hadoop (%.1f)", lSum/float64(trials), hSum/float64(trials))
+	}
+}
+
+func TestStragglerNoFalsePositivesOnHealthyJob(t *testing.T) {
+	rng := sim.NewRNG(11)
+	detectors := []StragglerDetector{
+		NewHadoopDetector(30),
+		NewLATEDetector(20),
+		NewQuasarDetector(5, rng.Stream("probe")),
+	}
+	res := RunStragglerStudy(40, 0, 1.0, detectors, rng.Stream("study"))
+	for _, r := range res {
+		if r.FalsePositives > 3 {
+			t.Errorf("%s flagged %d healthy tasks", r.Detector, r.FalsePositives)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"io"
+
+	"quasar/internal/cluster"
+	"quasar/internal/interference"
+	"quasar/internal/perfmodel"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// Fig2Result reproduces Figure 2: the impact of heterogeneity,
+// interference, scale-out, scale-up, and dataset on the performance of one
+// Hadoop job (top row, speedups over platform A) and one memcached service
+// (bottom row, latency/throughput knees).
+type Fig2Result struct {
+	Platforms []cluster.Platform
+
+	// Hadoop speedups over one whole node of platform A.
+	HadoopHeterogeneity map[string]float64 // per platform, whole node
+	HadoopInterference  map[string]float64 // per Table 1 pattern on platform A
+	HadoopScaleOut      map[int]float64    // per node count on platform A
+	HadoopDataset       map[string]float64 // per Table 1 dataset on platform A
+	HadoopScaleUpRange  [2]float64         // min/max speedup across within-node allocations on J
+
+	// Memcached QPS sustained at the latency bound.
+	MemcachedHeterogeneity map[string]float64 // per platform
+	MemcachedInterference  map[string]float64 // per pattern on platform D
+	MemcachedScaleUp       map[int]float64    // per core count on platform D
+	MemcachedDataset       map[string]float64 // per dataset on platform D
+}
+
+// Fig2 evaluates the ground-truth surfaces exactly as the paper measured
+// its two representative applications.
+func Fig2(seed int64) *Fig2Result {
+	platforms := cluster.LocalPlatforms()
+	u := workload.NewUniverse(platforms, seed, 3)
+	res := &Fig2Result{
+		Platforms:              platforms,
+		HadoopHeterogeneity:    map[string]float64{},
+		HadoopInterference:     map[string]float64{},
+		HadoopScaleOut:         map[int]float64{},
+		HadoopDataset:          map[string]float64{},
+		MemcachedHeterogeneity: map[string]float64{},
+		MemcachedInterference:  map[string]float64{},
+		MemcachedScaleUp:       map[int]float64{},
+		MemcachedDataset:       map[string]float64{},
+	}
+
+	// The Hadoop job: a large recommendation job on the Netflix dataset.
+	hw := u.New(workload.Spec{Type: workload.Hadoop, Family: 0,
+		Dataset: workload.HadoopDatasets()[0], MaxNodes: 8})
+	pA := &platforms[0]
+	wholeA := cluster.Alloc{Cores: pA.Cores, MemoryGB: pA.MemoryGB}
+	baseRate := hw.NodeRate(pA, wholeA, cluster.ResVec{})
+
+	for i := range platforms {
+		p := &platforms[i]
+		whole := cluster.Alloc{Cores: p.Cores, MemoryGB: p.MemoryGB}
+		res.HadoopHeterogeneity[p.Name] = hw.NodeRate(p, whole, cluster.ResVec{}) / baseRate
+	}
+	for _, pat := range interference.Patterns() {
+		rate := hw.NodeRate(pA, wholeA, pat.Vec(0.8))
+		res.HadoopInterference[pat.Name] = rate / baseRate
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		nodes := make([]perfmodel.NodeAlloc, n)
+		for i := range nodes {
+			nodes[i] = perfmodel.NodeAlloc{Platform: pA, Alloc: wholeA}
+		}
+		res.HadoopScaleOut[n] = hw.JobRate(nodes) / baseRate
+	}
+	for _, ds := range workload.HadoopDatasets() {
+		inst := u.New(workload.Spec{Type: workload.Hadoop, Family: 0, Dataset: ds, MaxNodes: 8})
+		// Dataset impact on time = work multiplier / rate change.
+		rate := inst.NodeRate(pA, wholeA, cluster.ResVec{})
+		res.HadoopDataset[ds.Name] = (rate / inst.Genome.Work) / (baseRate / hw.Genome.Work)
+	}
+	// Scale-up spread on the largest platform (the violin width).
+	pJ := &platforms[9]
+	lo, hi := 1e18, 0.0
+	for _, c := range []int{2, 4, 8, 12, 16, 24} {
+		for _, m := range []float64{4, 8, 16, 32, 48} {
+			r := hw.NodeRate(pJ, cluster.Alloc{Cores: c, MemoryGB: m}, cluster.ResVec{}) / baseRate
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+	}
+	res.HadoopScaleUpRange = [2]float64{lo, hi}
+
+	// The memcached service under read-intensive load.
+	mw := u.New(workload.Spec{Type: workload.Memcached, Family: 0,
+		Dataset: workload.MemcachedDatasets()[0], MaxNodes: 4})
+	bound := mw.Target.LatencyUS
+	pD := &platforms[3]
+	wholeD := cluster.Alloc{Cores: pD.Cores, MemoryGB: pD.MemoryGB}
+	qpsAt := func(w *workload.Instance, p *cluster.Platform, alloc cluster.Alloc, pressure cluster.ResVec) float64 {
+		capQPS := w.NodeRate(p, alloc, pressure) * w.Genome.QPSPerUnit
+		return w.Genome.QPSAtQoS(capQPS, bound)
+	}
+	for i := range platforms {
+		p := &platforms[i]
+		whole := cluster.Alloc{Cores: p.Cores, MemoryGB: p.MemoryGB}
+		res.MemcachedHeterogeneity[p.Name] = qpsAt(mw, p, whole, cluster.ResVec{})
+	}
+	for _, pat := range interference.Patterns() {
+		res.MemcachedInterference[pat.Name] = qpsAt(mw, pD, wholeD, pat.Vec(0.8))
+	}
+	for _, c := range []int{2, 4, 8} {
+		res.MemcachedScaleUp[c] = qpsAt(mw, pD, cluster.Alloc{Cores: c, MemoryGB: wholeD.MemoryGB}, cluster.ResVec{})
+	}
+	for _, ds := range workload.MemcachedDatasets() {
+		inst := u.New(workload.Spec{Type: workload.Memcached, Family: 0, Dataset: ds, MaxNodes: 4})
+		res.MemcachedDataset[ds.Name] = qpsAt(inst, pD, wholeD, cluster.ResVec{})
+	}
+	_ = sim.NewRNG
+	return res
+}
+
+// Print renders the eight panels.
+func (r *Fig2Result) Print(w io.Writer) {
+	fprintf(w, "== Figure 2: allocation/assignment impact on Hadoop and memcached ==\n")
+	fprintf(w, "-- Hadoop: heterogeneity (speedup over platform A, whole nodes) --\n")
+	for i := range r.Platforms {
+		name := r.Platforms[i].Name
+		fprintf(w, "%-4s %6.2fx\n", name, r.HadoopHeterogeneity[name])
+	}
+	fprintf(w, "-- Hadoop: interference on platform A (relative rate, pattern at 0.8 intensity) --\n")
+	for _, pat := range []string{"A", "B", "C", "D", "E", "F", "G", "H", "I"} {
+		fprintf(w, "%-4s %6.2f\n", pat, r.HadoopInterference[pat])
+	}
+	fprintf(w, "-- Hadoop: scale-out on platform A (speedup) --\n")
+	for n := 1; n <= 8; n++ {
+		fprintf(w, "%-4d %6.2fx\n", n, r.HadoopScaleOut[n])
+	}
+	fprintf(w, "-- Hadoop: dataset impact on platform A (relative speed) --\n")
+	for _, ds := range []string{"netflix", "mahout", "wikipedia"} {
+		fprintf(w, "%-10s %6.2f\n", ds, r.HadoopDataset[ds])
+	}
+	fprintf(w, "-- Hadoop: scale-up spread on platform J: %.2fx .. %.2fx --\n",
+		r.HadoopScaleUpRange[0], r.HadoopScaleUpRange[1])
+
+	fprintf(w, "-- memcached: heterogeneity (kQPS at latency bound, whole nodes) --\n")
+	for i := range r.Platforms {
+		name := r.Platforms[i].Name
+		fprintf(w, "%-4s %8.0f\n", name, r.MemcachedHeterogeneity[name]/1000)
+	}
+	fprintf(w, "-- memcached: interference on platform D (kQPS at bound) --\n")
+	for _, pat := range []string{"A", "B", "C", "D", "E", "F", "G", "H", "I"} {
+		fprintf(w, "%-4s %8.0f\n", pat, r.MemcachedInterference[pat]/1000)
+	}
+	fprintf(w, "-- memcached: scale-up on platform D (kQPS at bound) --\n")
+	for _, c := range []int{2, 4, 8} {
+		fprintf(w, "%2d cores %8.0f\n", c, r.MemcachedScaleUp[c]/1000)
+	}
+	fprintf(w, "-- memcached: dataset impact on platform D (kQPS at bound) --\n")
+	for _, ds := range []string{"100B-reads", "2KB-reads", "100B-rw"} {
+		fprintf(w, "%-12s %8.0f\n", ds, r.MemcachedDataset[ds]/1000)
+	}
+}

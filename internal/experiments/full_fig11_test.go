@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFullScaleFig11 runs the paper-scale cloud-provider scenario. It is
+// skipped in -short mode; run it explicitly to regenerate the full figure.
+func TestFullScaleFig11(t *testing.T) {
+	if testing.Short() || os.Getenv("QUASAR_FULL") == "" {
+		t.Skip("set QUASAR_FULL=1 for the paper-scale run")
+	}
+	r, err := Fig11(DefaultFig11Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Print(os.Stdout)
+}

@@ -1,0 +1,262 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner builds the scenario, executes it in the
+// simulated runtime, and returns a typed result whose Print method emits
+// the same rows/series the paper reports. cmd/quasar-bench and the
+// repository's benchmarks share these runners.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"quasar/internal/baselines"
+	"quasar/internal/classify"
+	"quasar/internal/cluster"
+	"quasar/internal/core"
+	"quasar/internal/perfmodel"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// ManagerKind selects the cluster manager under test.
+type ManagerKind int
+
+const (
+	// KindQuasar is the paper's system.
+	KindQuasar ManagerKind = iota
+	// KindReservationLL is reservation allocation + least-loaded
+	// assignment.
+	KindReservationLL
+	// KindReservationParagon is reservation allocation + Paragon
+	// (heterogeneity/interference-aware) assignment.
+	KindReservationParagon
+	// KindFrameworkSelf is framework self-scheduling (accurate framework
+	// sizing, default configs) + least-loaded assignment — the "allocations
+	// done by the frameworks themselves" baseline of §6.1/6.2.
+	KindFrameworkSelf
+	// KindAutoscale is load-triggered auto-scaling for services +
+	// least-loaded assignment (§6.3/6.4).
+	KindAutoscale
+	// KindMesosDRF is a dominant-resource-fairness allocator in the style
+	// of Mesos (the paper's [27]): fair, but neither QoS- nor
+	// heterogeneity-aware.
+	KindMesosDRF
+)
+
+func (k ManagerKind) String() string {
+	switch k {
+	case KindQuasar:
+		return "quasar"
+	case KindReservationLL:
+		return "reservation+LL"
+	case KindReservationParagon:
+		return "reservation+paragon"
+	case KindFrameworkSelf:
+		return "framework-self"
+	case KindAutoscale:
+		return "autoscale"
+	case KindMesosDRF:
+		return "mesos-drf"
+	}
+	return fmt.Sprintf("manager(%d)", int(k))
+}
+
+// ClusterKind selects the testbed.
+type ClusterKind int
+
+const (
+	// Local40 is the paper's 40-server local cluster (4 of each platform
+	// A-J).
+	Local40 ClusterKind = iota
+	// EC2x200 is the paper's 200-server dedicated EC2 cluster.
+	EC2x200
+)
+
+// clusterPlatformsLocal returns the local testbed's platform list.
+func clusterPlatformsLocal() []cluster.Platform { return cluster.LocalPlatforms() }
+
+// buildCluster constructs the testbed.
+func buildCluster(kind ClusterKind) (*cluster.Cluster, error) {
+	switch kind {
+	case Local40:
+		return cluster.New(cluster.LocalPlatforms(), []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4})
+	default:
+		return cluster.NewUniform(cluster.EC2Platforms(), 200)
+	}
+}
+
+// Scenario assembles a runtime, a manager, and a workload universe.
+type Scenario struct {
+	RT  *core.Runtime
+	U   *workload.Universe
+	Mgr core.Manager
+	Q   *core.Quasar // nil for baselines
+}
+
+// ScenarioConfig configures scenario assembly.
+type ScenarioConfig struct {
+	Cluster     ClusterKind
+	Manager     ManagerKind
+	Seed        int64
+	TickSecs    float64
+	Sample      float64
+	SeedLib     int  // offline-library workloads per type (default 3)
+	MaxNodes    int  // per-job scale-out bound
+	Misestimate bool // reservation misestimation for baseline kinds
+}
+
+// NewScenario builds the world.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	cl, err := buildCluster(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TickSecs <= 0 {
+		cfg.TickSecs = 5
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = 60
+	}
+	if cfg.SeedLib <= 0 {
+		cfg.SeedLib = 3
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 16
+	}
+	rt := core.NewRuntime(cl, core.Options{TickSecs: cfg.TickSecs, SampleSecs: cfg.Sample, Seed: cfg.Seed})
+	u := workload.NewUniverse(cl.Platforms, cfg.Seed+1000, 3)
+
+	s := &Scenario{RT: rt, U: u}
+	lib := libraryFor(u, cfg.SeedLib)
+	switch cfg.Manager {
+	case KindQuasar:
+		opts := core.DefaultQuasarOptions()
+		opts.MaxNodesPerJob = cfg.MaxNodes
+		opts.Classify.MaxNodes = maxInt(32, cfg.MaxNodes)
+		opts.Classify.Entries = 3
+		q := core.NewQuasar(rt, opts)
+		q.SeedLibrary(lib)
+		s.Mgr, s.Q = q, q
+	case KindMesosDRF:
+		s.Mgr = baselines.NewDRF(rt, cfg.Misestimate, cfg.MaxNodes)
+	case KindReservationLL, KindFrameworkSelf, KindAutoscale, KindReservationParagon:
+		b := baselines.New(rt, baselineOpts(cfg))
+		if b.Engine() != nil {
+			seedBaselineEngine(b.Engine(), lib, cl.Platforms, cfg.Seed)
+		}
+		s.Mgr = b
+	}
+	rt.SetManager(s.Mgr)
+	return s, nil
+}
+
+func baselineOpts(cfg ScenarioConfig) baselines.Options {
+	opts := baselines.DefaultOptions()
+	opts.MaxNodes = cfg.MaxNodes
+	opts.MaxInstances = cfg.MaxNodes
+	switch cfg.Manager {
+	case KindReservationParagon:
+		opts.Assign = baselines.AssignParagon
+		opts.Misestimate = cfg.Misestimate
+		opts.AutoscaleServices = true
+	case KindReservationLL:
+		opts.Assign = baselines.AssignLeastLoaded
+		opts.Misestimate = cfg.Misestimate
+		opts.AutoscaleServices = true
+	case KindFrameworkSelf:
+		// The framework sizes its own jobs from history — no user
+		// misestimation, but no heterogeneity/interference awareness and
+		// stock configurations.
+		opts.Assign = baselines.AssignLeastLoaded
+		opts.Misestimate = false
+	case KindAutoscale:
+		opts.Assign = baselines.AssignLeastLoaded
+		opts.Misestimate = false
+		opts.AutoscaleServices = true
+	}
+	return opts
+}
+
+// libraryFor generates the offline-profiled seed library.
+func libraryFor(u *workload.Universe, perType int) []*workload.Instance {
+	var lib []*workload.Instance
+	for _, tp := range []workload.Type{workload.Hadoop, workload.Spark, workload.Storm,
+		workload.Memcached, workload.Cassandra, workload.Webserver, workload.SingleNode} {
+		for i := 0; i < perType; i++ {
+			lib = append(lib, u.New(workload.Spec{Type: tp, Family: -1, MaxNodes: 4}))
+		}
+	}
+	return lib
+}
+
+func seedBaselineEngine(e *classify.Engine, lib []*workload.Instance, platforms []cluster.Platform, seed int64) {
+	rng := sim.NewRNG(seed + 77)
+	for _, w := range lib {
+		e.SeedOffline(w, classify.NewGroundTruthProber(w, platforms, rng.Stream(w.ID)))
+	}
+}
+
+// PerfNormalizedToTarget returns a finished or running task's performance
+// relative to its target (1.0 = exactly met, >1 = beat it; NaN for
+// best-effort tasks, which have no target).
+func PerfNormalizedToTarget(rt *core.Runtime, t *core.Task) float64 {
+	w := t.W
+	switch {
+	case w.BestEffort:
+		return math.NaN()
+	case w.Type.Class() == perfmodel.LatencyCritical:
+		// Fraction of ticks meeting QoS, discounting warm-up.
+		span := rt.Eng.Now() - t.SubmitAt
+		warm := t.SubmitAt + math.Min(600, span*0.2)
+		return t.QoSFrac.MeanBetween(warm, math.Inf(1))
+	case w.Type.Class() == perfmodel.SingleNode:
+		// Achieved IPS (mean work rate while running) vs the IPS target.
+		end := t.DoneAt
+		if t.Status != core.StatusCompleted {
+			end = rt.Eng.Now()
+		}
+		elapsed := end - t.StartAt
+		if elapsed <= 0 || t.Progress <= 0 {
+			return 0
+		}
+		return clampNorm((t.Progress / elapsed) / w.Target.IPS)
+	default:
+		if t.Status != core.StatusCompleted {
+			// Still running (or never placed): project from progress.
+			elapsed := rt.Eng.Now() - t.SubmitAt
+			if elapsed <= 0 {
+				return 0
+			}
+			frac := rt.ProgressFraction(t)
+			if frac <= 0 {
+				return 0
+			}
+			projected := elapsed / frac
+			return clampNorm(w.Target.CompletionSecs / projected)
+		}
+		return clampNorm(w.Target.CompletionSecs / (t.DoneAt - t.SubmitAt))
+	}
+}
+
+func clampNorm(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return 0
+	}
+	if x > 2 {
+		x = 2
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fprintf writes formatted output, ignoring errors (report rendering).
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}

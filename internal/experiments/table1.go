@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"io"
+
+	"quasar/internal/cluster"
+	"quasar/internal/interference"
+	"quasar/internal/workload"
+)
+
+// Table1Result reproduces Table 1: the server platforms, interference
+// patterns, and input datasets of the evaluation.
+type Table1Result struct {
+	Platforms []cluster.Platform
+	Patterns  []interference.Pattern
+	Hadoop    []workload.Dataset
+	Memcached []workload.Dataset
+}
+
+// Table1 assembles the configuration tables.
+func Table1() *Table1Result {
+	return &Table1Result{
+		Platforms: cluster.LocalPlatforms(),
+		Patterns:  interference.Patterns(),
+		Hadoop:    workload.HadoopDatasets(),
+		Memcached: workload.MemcachedDatasets(),
+	}
+}
+
+// Print renders the three sub-tables.
+func (r *Table1Result) Print(w io.Writer) {
+	fprintf(w, "== Table 1 ==\n-- server platforms --\n")
+	fprintf(w, "%-10s %6s %10s %9s %9s\n", "platform", "cores", "memory(GB)", "coreperf", "cache(MB)")
+	for _, p := range r.Platforms {
+		fprintf(w, "%-10s %6d %10.0f %9.2f %9.0f\n", p.Name, p.Cores, p.MemoryGB, p.CorePerf, p.CacheMB)
+	}
+	fprintf(w, "-- interference patterns --\n")
+	for _, pat := range r.Patterns {
+		res := "-"
+		if pat.Resource >= 0 {
+			res = pat.Resource.String()
+		}
+		fprintf(w, "%-4s %s\n", pat.Name, res)
+	}
+	fprintf(w, "-- input datasets --\n")
+	for _, ds := range r.Hadoop {
+		fprintf(w, "hadoop    %-12s %7.1f GB\n", ds.Name, ds.SizeGB)
+	}
+	for _, ds := range r.Memcached {
+		fprintf(w, "memcached %-12s %7.1f GB\n", ds.Name, ds.SizeGB)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"quasar/internal/classify"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// Table2Config sizes the classification validation. The paper validates on
+// 10 Hadoop data-mining jobs, 10 memcached loads, 10 webserver loads, and
+// 413 single-node benchmarks over the 40-server cluster's platforms.
+type Table2Config struct {
+	Hadoop, Memcached, Webserver, SingleNode int
+	SeedLibPerType                           int
+	ExhaustiveEntries                        int // 8 in the paper
+	Seed                                     int64
+}
+
+// DefaultTable2Config matches the paper's counts.
+func DefaultTable2Config() Table2Config {
+	return Table2Config{
+		Hadoop: 10, Memcached: 10, Webserver: 10, SingleNode: 413,
+		SeedLibPerType: 4, ExhaustiveEntries: 8, Seed: 2,
+	}
+}
+
+// ClassErrors is one row of Table 2.
+type ClassErrors struct {
+	AppClass   string
+	N          int
+	ScaleUp    classify.ErrorStats
+	ScaleOut   classify.ErrorStats
+	Hetero     classify.ErrorStats
+	Interf     classify.ErrorStats
+	Exhaustive classify.ErrorStats
+}
+
+// Table2Result is the validation of the classification engine.
+type Table2Result struct {
+	Rows []ClassErrors
+}
+
+// Table2 runs the validation: each test workload is classified from sparse
+// profiling (2 entries/row default) by the four parallel classifications and
+// by the single exhaustive classification (8 entries/row), and both are
+// compared against exhaustive noise-free characterization.
+func Table2(cfg Table2Config) *Table2Result {
+	platforms := clusterPlatformsLocal()
+	u := workload.NewUniverse(platforms, cfg.Seed, 3)
+	opts := classify.DefaultOptions()
+	opts.MaxNodes = 32
+	eng := classify.NewEngine(platforms, opts, sim.NewRNG(cfg.Seed+1))
+	exh := classify.NewExhaustive(platforms, 8, opts.CF, sim.NewRNG(cfg.Seed+2))
+
+	// Offline library for both engines.
+	rng := sim.NewRNG(cfg.Seed + 3)
+	for _, tp := range []workload.Type{workload.Hadoop, workload.Memcached,
+		workload.Webserver, workload.SingleNode, workload.Spark, workload.Storm, workload.Cassandra} {
+		for i := 0; i < cfg.SeedLibPerType; i++ {
+			w := u.New(workload.Spec{Type: tp, Family: -1, MaxNodes: 4})
+			p := classify.NewGroundTruthProber(w, platforms, rng.Stream(w.ID))
+			eng.SeedOffline(w, p)
+			exh.Seed(w, p)
+		}
+	}
+
+	groups := []struct {
+		name string
+		tp   workload.Type
+		n    int
+	}{
+		{"Hadoop", workload.Hadoop, cfg.Hadoop},
+		{"Memcached", workload.Memcached, cfg.Memcached},
+		{"Webserver", workload.Webserver, cfg.Webserver},
+		{"Single-node", workload.SingleNode, cfg.SingleNode},
+	}
+	res := &Table2Result{}
+	for _, g := range groups {
+		var su, so, het, interf, joint []float64
+		for i := 0; i < g.n; i++ {
+			w := u.New(workload.Spec{Type: g.tp, Family: -1, MaxNodes: 4})
+			_, errs := classify.Validate(eng, w)
+			su = append(su, errs.ScaleUp...)
+			so = append(so, errs.ScaleOut...)
+			het = append(het, errs.Hetero...)
+			interf = append(interf, errs.Interf...)
+			noisy := classify.NewGroundTruthProber(w, platforms, rng.Stream("exh/"+w.ID))
+			joint = append(joint, classify.ValidateExhaustiveWith(exh, w, noisy, cfg.ExhaustiveEntries)...)
+		}
+		res.Rows = append(res.Rows, ClassErrors{
+			AppClass:   g.name,
+			N:          g.n,
+			ScaleUp:    classify.Stats(su),
+			ScaleOut:   classify.Stats(so),
+			Hetero:     classify.Stats(het),
+			Interf:     classify.Stats(interf),
+			Exhaustive: classify.Stats(joint),
+		})
+	}
+	return res
+}
+
+// Print renders Table 2.
+func (r *Table2Result) Print(w io.Writer) {
+	fprintf(w, "== Table 2: classification validation (errors vs detailed characterization) ==\n")
+	fprintf(w, "%-14s %4s | %-20s | %-20s | %-20s | %-20s | %-20s\n",
+		"class", "N", "scale-up", "scale-out", "heterogeneity", "interference", "exhaustive(8)")
+	fprintf(w, "%-14s %4s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s\n",
+		"", "", "avg", "p90", "max", "avg", "p90", "max", "avg", "p90", "max", "avg", "p90", "max", "avg", "p90", "max")
+	for _, row := range r.Rows {
+		p := func(s classify.ErrorStats) string {
+			if s.N == 0 {
+				return "     -      -      -"
+			}
+			return sprintfStats(s)
+		}
+		fprintf(w, "%-14s %4d | %s | %s | %s | %s | %s\n",
+			row.AppClass, row.N, p(row.ScaleUp), p(row.ScaleOut), p(row.Hetero), p(row.Interf), p(row.Exhaustive))
+	}
+}
+
+func sprintfStats(s classify.ErrorStats) string {
+	return fmt.Sprintf("%6.1f %6.1f %6.1f", s.Avg*100, s.P90*100, s.Max*100)
+}

@@ -1,0 +1,143 @@
+// Package interference provides the iBench-style contention
+// microbenchmarks of the paper (§3.2, §4.1): tunable-intensity pressure
+// sources targeting one shared resource at a time, the Table 1 interference
+// patterns, and the ramp-up probe that measures a workload's tolerated
+// intensity in a resource.
+package interference
+
+import (
+	"fmt"
+
+	"quasar/internal/cluster"
+)
+
+// Microbenchmark is a synthetic contention source: it exerts Intensity
+// (0..1) of pressure on exactly one shared resource, like the iBench
+// benchmarks the paper injects.
+type Microbenchmark struct {
+	Resource  cluster.Resource
+	Intensity float64
+}
+
+// Pressure returns the resource-pressure vector the microbenchmark exerts.
+func (m Microbenchmark) Pressure() cluster.ResVec {
+	var v cluster.ResVec
+	in := m.Intensity
+	if in < 0 {
+		in = 0
+	}
+	if in > 1 {
+		in = 1
+	}
+	if m.Resource >= 0 && m.Resource < cluster.NumResources {
+		v[m.Resource] = in
+	}
+	return v
+}
+
+// Pattern is one of the Table 1 interference patterns A-I: a named
+// single-resource contention setting (pattern A is "no interference").
+type Pattern struct {
+	Name     string
+	Resource cluster.Resource // -1 for none
+}
+
+// Patterns returns the Table 1 interference patterns:
+// A: none, B: memory (bandwidth), C: L1 instruction cache, D: last-level
+// cache, E: disk I/O, F: network, G: L2 cache, H: CPU, I: prefetchers.
+func Patterns() []Pattern {
+	return []Pattern{
+		{Name: "A", Resource: -1},
+		{Name: "B", Resource: cluster.ResMemBW},
+		{Name: "C", Resource: cluster.ResL1I},
+		{Name: "D", Resource: cluster.ResLLC},
+		{Name: "E", Resource: cluster.ResDiskIO},
+		{Name: "F", Resource: cluster.ResNetBW},
+		{Name: "G", Resource: cluster.ResL2},
+		{Name: "H", Resource: cluster.ResCPU},
+		{Name: "I", Resource: cluster.ResPrefetch},
+	}
+}
+
+// PatternByName returns the named Table 1 pattern.
+func PatternByName(name string) (Pattern, error) {
+	for _, p := range Patterns() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pattern{}, fmt.Errorf("interference: unknown pattern %q", name)
+}
+
+// Vec returns the pressure vector of the pattern at the given intensity.
+func (p Pattern) Vec(intensity float64) cluster.ResVec {
+	if p.Resource < 0 {
+		return cluster.ResVec{}
+	}
+	return Microbenchmark{Resource: p.Resource, Intensity: intensity}.Pressure()
+}
+
+// DefaultQoSDrop is the performance-drop threshold at which the probe
+// records the tolerated intensity ("typically 5%", §3.2).
+const DefaultQoSDrop = 0.05
+
+// ProbeTolerance ramps a contention microbenchmark in the given resource
+// and returns the highest intensity the victim tolerates before its
+// performance drops by more than qosDrop relative to the unloaded baseline.
+// measure must return the victim's performance metric (higher is better)
+// under the given extra pressure. steps controls the ramp granularity.
+//
+// A return of 1.0 means the workload never dropped below the threshold —
+// it is insensitive to this resource.
+func ProbeTolerance(measure func(extra cluster.ResVec) float64, r cluster.Resource, qosDrop float64, steps int) float64 {
+	if steps < 2 {
+		steps = 2
+	}
+	base := measure(cluster.ResVec{})
+	if base <= 0 {
+		return 0
+	}
+	prev := 0.0
+	for i := 1; i <= steps; i++ {
+		in := float64(i) / float64(steps)
+		perf := measure(Microbenchmark{Resource: r, Intensity: in}.Pressure())
+		if perf < (1-qosDrop)*base {
+			// The tolerated intensity is the last level that still met
+			// QoS, refined by linear interpolation within the step.
+			lo, hi := prev, in
+			basePerfAtLo := measure(Microbenchmark{Resource: r, Intensity: lo}.Pressure())
+			if basePerfAtLo <= perf {
+				return lo
+			}
+			frac := (basePerfAtLo - (1-qosDrop)*base) / (basePerfAtLo - perf)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		prev = in
+	}
+	return 1.0
+}
+
+// ToleranceToSensitivity converts a tolerated intensity into an estimated
+// full-contention sensitivity, inverting the probe's definition: if a 5%
+// loss occurs at intensity t, a linear penalty model loses qosDrop/t at
+// full contention.
+func ToleranceToSensitivity(tolerated, qosDrop float64) float64 {
+	if tolerated >= 1 {
+		// Never dropped: sensitivity is at most qosDrop.
+		return qosDrop
+	}
+	if tolerated <= 0 {
+		return 1
+	}
+	s := qosDrop / tolerated
+	if s > 1 {
+		s = 1
+	}
+	return s
+}

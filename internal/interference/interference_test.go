@@ -1,0 +1,130 @@
+package interference
+
+import (
+	"math"
+	"testing"
+
+	"quasar/internal/cluster"
+	"quasar/internal/perfmodel"
+)
+
+func TestMicrobenchmarkPressure(t *testing.T) {
+	m := Microbenchmark{Resource: cluster.ResLLC, Intensity: 0.7}
+	v := m.Pressure()
+	if v[cluster.ResLLC] != 0.7 {
+		t.Fatalf("pressure %v", v)
+	}
+	for r := 0; r < int(cluster.NumResources); r++ {
+		if cluster.Resource(r) != cluster.ResLLC && v[r] != 0 {
+			t.Fatal("pressure leaked to other resources")
+		}
+	}
+	// Clamping.
+	if (Microbenchmark{Resource: cluster.ResCPU, Intensity: 5}).Pressure()[cluster.ResCPU] != 1 {
+		t.Fatal("intensity not clamped to 1")
+	}
+	if (Microbenchmark{Resource: cluster.ResCPU, Intensity: -1}).Pressure()[cluster.ResCPU] != 0 {
+		t.Fatal("negative intensity not clamped")
+	}
+}
+
+func TestPatternsMatchTable1(t *testing.T) {
+	ps := Patterns()
+	if len(ps) != 9 {
+		t.Fatalf("%d patterns, want 9 (A-I)", len(ps))
+	}
+	if ps[0].Name != "A" || ps[0].Resource != -1 {
+		t.Fatal("pattern A should be no-interference")
+	}
+	want := map[string]cluster.Resource{
+		"B": cluster.ResMemBW, "C": cluster.ResL1I, "D": cluster.ResLLC,
+		"E": cluster.ResDiskIO, "F": cluster.ResNetBW, "G": cluster.ResL2,
+		"H": cluster.ResCPU, "I": cluster.ResPrefetch,
+	}
+	for name, res := range want {
+		p, err := PatternByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Resource != res {
+			t.Fatalf("pattern %s -> %v, want %v", name, p.Resource, res)
+		}
+	}
+	if _, err := PatternByName("Z"); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestPatternVec(t *testing.T) {
+	p, _ := PatternByName("D")
+	if p.Vec(0.5)[cluster.ResLLC] != 0.5 {
+		t.Fatal("pattern vec wrong")
+	}
+	a, _ := PatternByName("A")
+	if a.Vec(1.0) != (cluster.ResVec{}) {
+		t.Fatal("pattern A should exert no pressure")
+	}
+}
+
+// syntheticVictim returns a measure function with known linear sensitivity.
+func syntheticVictim(sens cluster.ResVec) func(cluster.ResVec) float64 {
+	return func(extra cluster.ResVec) float64 {
+		return 100 * perfmodel.InterferencePenalty(sens, extra)
+	}
+}
+
+func TestProbeToleranceSensitiveVictim(t *testing.T) {
+	var sens cluster.ResVec
+	sens[cluster.ResLLC] = 0.5 // loses 50% at full contention
+	tol := ProbeTolerance(syntheticVictim(sens), cluster.ResLLC, DefaultQoSDrop, 50)
+	// Linear model: 5% drop at intensity 0.05/0.5 = 0.1.
+	if math.Abs(tol-0.1) > 0.03 {
+		t.Fatalf("tolerated intensity %v, want ~0.1", tol)
+	}
+}
+
+func TestProbeToleranceInsensitiveVictim(t *testing.T) {
+	var sens cluster.ResVec
+	sens[cluster.ResLLC] = 0.5
+	// Probe a resource the victim does not care about.
+	tol := ProbeTolerance(syntheticVictim(sens), cluster.ResNetBW, DefaultQoSDrop, 20)
+	if tol != 1.0 {
+		t.Fatalf("insensitive victim tolerated %v, want 1.0", tol)
+	}
+}
+
+func TestProbeToleranceExtremeVictim(t *testing.T) {
+	var sens cluster.ResVec
+	sens[cluster.ResCPU] = 1.0
+	tol := ProbeTolerance(syntheticVictim(sens), cluster.ResCPU, DefaultQoSDrop, 100)
+	if tol > 0.07 {
+		t.Fatalf("hyper-sensitive victim tolerated %v, want ~0.05", tol)
+	}
+}
+
+func TestProbeToleranceDeadVictim(t *testing.T) {
+	dead := func(cluster.ResVec) float64 { return 0 }
+	if tol := ProbeTolerance(dead, cluster.ResCPU, DefaultQoSDrop, 10); tol != 0 {
+		t.Fatalf("dead victim tolerance %v, want 0", tol)
+	}
+}
+
+func TestToleranceToSensitivityRoundTrip(t *testing.T) {
+	// For a linearly-sensitive victim, probe + conversion should recover
+	// the underlying sensitivity.
+	for _, trueSens := range []float64{0.2, 0.4, 0.8} {
+		var sens cluster.ResVec
+		sens[cluster.ResMemBW] = trueSens
+		tol := ProbeTolerance(syntheticVictim(sens), cluster.ResMemBW, DefaultQoSDrop, 100)
+		got := ToleranceToSensitivity(tol, DefaultQoSDrop)
+		if math.Abs(got-trueSens) > 0.12 {
+			t.Fatalf("sensitivity %v recovered as %v", trueSens, got)
+		}
+	}
+	if ToleranceToSensitivity(1.0, 0.05) != 0.05 {
+		t.Fatal("full tolerance should map to the qosDrop bound")
+	}
+	if ToleranceToSensitivity(0, 0.05) != 1 {
+		t.Fatal("zero tolerance should map to full sensitivity")
+	}
+}

@@ -1,0 +1,421 @@
+// Package sched implements Quasar's greedy joint resource allocation and
+// assignment (§3.3). Given a workload's classification estimates, it ranks
+// available servers by quality for this workload (platform affinity and
+// current interference), then sizes the allocation — scale-up within a
+// server before scale-out across servers — until the estimated performance
+// meets the target, allocating the least amount of resources that does.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"quasar/internal/classify"
+	"quasar/internal/cluster"
+	"quasar/internal/workload"
+)
+
+// ErrNoCapacity signals admission control: no assignment can currently
+// provide even a minimal allocation ("the scheduler employs admission
+// control to prevent oversubscription when no resources are available").
+var ErrNoCapacity = errors.New("sched: no capacity for workload")
+
+// Request asks for an assignment.
+type Request struct {
+	W   *workload.Instance
+	Est *classify.Estimates
+
+	// NeedPerf is the performance required, in the workload's own metric:
+	// estimated-work/target-time for batch, target QPS for services, the
+	// IPS target for single-node workloads.
+	NeedPerf float64
+
+	// MaxNodes bounds scale-out (1 for single-node workloads).
+	MaxNodes int
+
+	// MaxCostPerHour optionally caps the resource cost of the allocation
+	// (the cost-target extension of §4.4); 0 means unlimited.
+	MaxCostPerHour float64
+
+	// AcceptPartial disables the MinFill admission check: the caller wants
+	// the best currently available allocation even if it falls well short
+	// of NeedPerf (used when rescheduling past-due workloads).
+	AcceptPartial bool
+
+	// EstOf looks up the classification estimates of a resident workload,
+	// for interference compatibility checks; nil residents are treated as
+	// insensitive.
+	EstOf func(workloadID string) *classify.Estimates
+}
+
+// NodeAssign is one server share of an assignment.
+type NodeAssign struct {
+	Server *cluster.Server
+	Alloc  cluster.Alloc
+}
+
+// Assignment is the scheduler's decision.
+type Assignment struct {
+	Nodes   []NodeAssign
+	EstPerf float64
+	// Evictions lists best-effort workloads that must be displaced to
+	// realize the assignment.
+	Evictions []string
+	// Config is the tuned framework configuration for configured
+	// workloads (nil otherwise).
+	Config *workload.FrameworkConfig
+	// CostPerHour is the resource cost of the assignment.
+	CostPerHour float64
+}
+
+// Options tunes the scheduler.
+type Options struct {
+	// PerfMargin is the headroom factor applied to NeedPerf (allocate for
+	// margin x need) to absorb estimation error; 1.1 by default.
+	PerfMargin float64
+	// MinFill is the fraction of NeedPerf below which admission control
+	// rejects the workload instead of placing a starved allocation.
+	MinFill float64
+	// ScaleOutFirst flips the sizing order (ablation knob; the paper
+	// scales up first).
+	ScaleOutFirst bool
+	// IgnoreInterference disables interference-aware ranking and
+	// compatibility checks (ablation knob).
+	IgnoreInterference bool
+	// IgnoreHeterogeneity ranks servers by free capacity only (ablation
+	// knob).
+	IgnoreHeterogeneity bool
+
+	// SpreadZones makes multi-node assignments prefer servers in fault
+	// zones the workload does not occupy yet (§4.4 fault-zone extension):
+	// among near-equal candidates, a new zone wins.
+	SpreadZones bool
+}
+
+// DefaultOptions returns production settings.
+func DefaultOptions() Options {
+	return Options{PerfMargin: 1.1, MinFill: 0.25}
+}
+
+// Scheduler performs greedy allocation/assignment over a cluster.
+type Scheduler struct {
+	Cluster *cluster.Cluster
+	Opts    Options
+}
+
+// New returns a scheduler.
+func New(c *cluster.Cluster, opts Options) *Scheduler {
+	if opts.PerfMargin <= 0 {
+		opts.PerfMargin = 1.1
+	}
+	if opts.MinFill <= 0 {
+		opts.MinFill = 0.25
+	}
+	return &Scheduler{Cluster: c, Opts: opts}
+}
+
+// CostPerCoreHour prices a platform's cores: faster cores cost more. The
+// same pricing is used by the scheduler's cost cap and by managers checking
+// a live allocation against a workload's budget.
+func CostPerCoreHour(p *cluster.Platform) float64 {
+	return 0.03 * p.CorePerf
+}
+
+// candidate is a ranked server.
+type candidate struct {
+	server    *cluster.Server
+	pidx      int
+	quality   float64
+	freeCores int
+	evictable []*cluster.Placement // best-effort residents
+}
+
+// freeAfterEviction returns the capacity available counting best-effort
+// residents as removable.
+func freeAfterEviction(s *cluster.Server) (cores int, mem float64, evictable []*cluster.Placement) {
+	cores, mem = s.FreeCores(), s.FreeMemGB()
+	for _, pl := range s.Placements() {
+		if pl.BestEffort {
+			cores += pl.Alloc.Cores
+			mem += pl.Alloc.MemoryGB
+			evictable = append(evictable, pl)
+		}
+	}
+	return cores, mem, evictable
+}
+
+// rank orders servers by decreasing quality for this request.
+func (s *Scheduler) rank(req *Request) []candidate {
+	var cands []candidate
+	for _, srv := range s.Cluster.Servers {
+		cores, mem, evictable := freeAfterEviction(srv)
+		if cores < 1 || mem <= 0 {
+			continue
+		}
+		pidx := s.Cluster.PlatformIndex(srv.Platform.Name)
+		var quality float64
+		switch {
+		case s.Opts.IgnoreHeterogeneity && s.Opts.IgnoreInterference:
+			quality = float64(cores)
+		case s.Opts.IgnoreHeterogeneity:
+			pen := 1 - srv.PressureOn(req.W.ID).Max()
+			quality = float64(cores) * pen
+		default:
+			pressure := srv.PressureOn(req.W.ID)
+			if s.Opts.IgnoreInterference {
+				pressure = cluster.ResVec{}
+			}
+			whole := cluster.Alloc{Cores: srv.Platform.Cores, MemoryGB: srv.Platform.MemoryGB}
+			quality = req.Est.NodePerf(pidx, whole, pressure)
+		}
+		if !s.compatible(req, srv) {
+			// Penalize rather than exclude: a colocation that would hurt
+			// residents is a last resort.
+			quality *= 0.05
+		}
+		cands = append(cands, candidate{
+			server: srv, pidx: pidx, quality: quality,
+			freeCores: cores, evictable: evictable,
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].quality != cands[j].quality {
+			return cands[i].quality > cands[j].quality
+		}
+		// Tie-break toward bigger machines (fewer nodes for the same
+		// estimated quality), then by ID for determinism.
+		ci := float64(cands[i].server.Platform.Cores) * cands[i].server.Platform.CorePerf
+		cj := float64(cands[j].server.Platform.Cores) * cands[j].server.Platform.CorePerf
+		if ci != cj {
+			return ci > cj
+		}
+		return cands[i].server.ID < cands[j].server.ID
+	})
+	return cands
+}
+
+// compatible reports whether placing the request's workload on the server
+// would keep every non-best-effort resident within its interference
+// tolerance ("colocate workloads that do not interfere with each other").
+func (s *Scheduler) compatible(req *Request, srv *cluster.Server) bool {
+	if s.Opts.IgnoreInterference || req.EstOf == nil {
+		return true
+	}
+	caused := req.Est.EstCausedPressure(
+		s.Cluster.PlatformIndex(srv.Platform.Name),
+		cluster.Alloc{Cores: srv.Platform.Cores / 2, MemoryGB: srv.Platform.MemoryGB / 2})
+	for _, pl := range srv.Placements() {
+		if pl.BestEffort {
+			continue
+		}
+		res := req.EstOf(pl.WorkloadID)
+		if res == nil {
+			continue
+		}
+		existing := srv.PressureOn(pl.WorkloadID)
+		for r := 0; r < int(cluster.NumResources); r++ {
+			if existing[r]+caused[r] > res.Tol[r]+0.05 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// memGrid is the quantized memory ladder used when right-sizing.
+var memGrid = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+
+// rightSizeAlloc picks the smallest allocation on a candidate that achieves
+// perf >= want there, or the largest achievable if none does. It walks the
+// quantized scale-up grid: cores ascending, and for each core count the
+// least memory within 95% of the best for that count (freeing memory the
+// workload does not need).
+func (s *Scheduler) rightSizeAlloc(req *Request, cand candidate, want float64) (cluster.Alloc, float64) {
+	_, freeMem, _ := freeAfterEviction(cand.server)
+	pressure := cand.server.PressureOn(req.W.ID)
+	if s.Opts.IgnoreInterference {
+		pressure = cluster.ResVec{}
+	}
+	// First pass: the right-sized (least-memory) allocation and its
+	// estimated performance at each feasible core count.
+	type option struct {
+		alloc cluster.Alloc
+		perf  float64
+	}
+	var opts []option
+	for _, c := range []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 32} {
+		if c > cand.freeCores || c > cand.server.Platform.Cores {
+			continue
+		}
+		// Most memory we could give at this core count.
+		maxMem := math.Min(freeMem, cand.server.Platform.MemoryGB)
+		if maxMem <= 0 {
+			continue
+		}
+		// Configured frameworks have a known per-node memory footprint
+		// (one heap per mapper); never right-size below it — the scale-up
+		// estimates are too coarse to see that cliff reliably.
+		memFloor := 1.0
+		if req.W.Config != nil {
+			memFloor = float64(c)*0.5 + 0.5
+		}
+		top := req.Est.NodePerf(cand.pidx, cluster.Alloc{Cores: c, MemoryGB: maxMem}, pressure)
+		// Least memory within 95% of top for this core count.
+		alloc := cluster.Alloc{Cores: c, MemoryGB: maxMem}
+		perf := top
+		for _, m := range memGrid {
+			if m > maxMem {
+				break
+			}
+			if m < memFloor {
+				continue
+			}
+			pf := req.Est.NodePerf(cand.pidx, cluster.Alloc{Cores: c, MemoryGB: m}, pressure)
+			if pf >= 0.95*top {
+				alloc = cluster.Alloc{Cores: c, MemoryGB: m}
+				perf = pf
+				break
+			}
+		}
+		opts = append(opts, option{alloc, perf})
+		if perf >= want {
+			return alloc, perf
+		}
+	}
+	if len(opts) == 0 {
+		return cluster.Alloc{}, 0
+	}
+	// The want level is unattainable here. Allocating ever more cores for
+	// vanishing marginal gain is pure waste (a low-parallelism workload
+	// cannot use them): settle for the smallest allocation within 95% of
+	// this server's best.
+	best := 0.0
+	for _, o := range opts {
+		if o.perf > best {
+			best = o.perf
+		}
+	}
+	for _, o := range opts {
+		if o.perf >= 0.95*best {
+			return o.alloc, o.perf
+		}
+	}
+	return opts[len(opts)-1].alloc, opts[len(opts)-1].perf
+}
+
+// Schedule computes an assignment for the request. It does not mutate the
+// cluster; the caller places the returned nodes (after performing the
+// returned evictions).
+func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
+	if req.NeedPerf <= 0 {
+		return nil, fmt.Errorf("sched: request for %s with NeedPerf %v", req.W.ID, req.NeedPerf)
+	}
+	maxNodes := req.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 1
+	}
+	want := req.NeedPerf * s.Opts.PerfMargin
+	cands := s.rank(req)
+	if len(cands) == 0 {
+		return nil, ErrNoCapacity
+	}
+
+	asn := &Assignment{}
+	perNode := make([]float64, 0, maxNodes)
+	sumPerf := 0.0
+	est := func(n int) float64 { return sumPerf * req.Est.ScaleOutEff(n) }
+	usedZones := map[int]bool{}
+
+	for ci := 0; ci < len(cands); ci++ {
+		cand := cands[ci]
+		if len(asn.Nodes) >= maxNodes {
+			break
+		}
+		if s.Opts.SpreadZones && usedZones[cand.server.Zone] {
+			// Prefer a near-equal candidate in a fresh fault zone: scan
+			// ahead within 10% quality for one.
+			for cj := ci + 1; cj < len(cands); cj++ {
+				if cands[cj].quality < 0.9*cand.quality {
+					break
+				}
+				if !usedZones[cands[cj].server.Zone] {
+					cands[ci], cands[cj] = cands[cj], cands[ci]
+					cand = cands[ci]
+					break
+				}
+			}
+		}
+		n := len(asn.Nodes) + 1
+		// Remaining per-node need if this is the last node we add.
+		remaining := want/req.Est.ScaleOutEff(n) - sumPerf
+		if remaining <= 0 {
+			break
+		}
+		var alloc cluster.Alloc
+		var perf float64
+		if s.Opts.ScaleOutFirst {
+			// Ablation: spread minimal slices across many servers.
+			_, freeMem, _ := freeAfterEviction(cand.server)
+			alloc = cluster.Alloc{
+				Cores:    minInt(2, cand.freeCores),
+				MemoryGB: math.Min(freeMem, 4),
+			}
+			if !alloc.Valid() {
+				continue
+			}
+			pressure := cand.server.PressureOn(req.W.ID)
+			perf = req.Est.NodePerf(cand.pidx, alloc, pressure)
+		} else {
+			alloc, perf = s.rightSizeAlloc(req, cand, remaining)
+		}
+		if !alloc.Valid() || perf <= 0 {
+			continue
+		}
+		cost := float64(alloc.Cores) * CostPerCoreHour(cand.server.Platform)
+		if req.MaxCostPerHour > 0 && asn.CostPerHour+cost > req.MaxCostPerHour {
+			continue
+		}
+		asn.Nodes = append(asn.Nodes, NodeAssign{Server: cand.server, Alloc: alloc})
+		usedZones[cand.server.Zone] = true
+		asn.CostPerHour += cost
+		perNode = append(perNode, perf)
+		sumPerf += perf
+		for _, ev := range cand.evictable {
+			// Only evict what the allocation actually needs.
+			if alloc.Cores > cand.server.FreeCores() || alloc.MemoryGB > cand.server.FreeMemGB() {
+				asn.Evictions = append(asn.Evictions, ev.WorkloadID)
+			}
+		}
+		if est(len(asn.Nodes)) >= want {
+			break
+		}
+	}
+
+	if len(asn.Nodes) == 0 {
+		return nil, ErrNoCapacity
+	}
+	asn.EstPerf = est(len(asn.Nodes))
+	if !req.AcceptPartial && asn.EstPerf < req.NeedPerf*s.Opts.MinFill {
+		return nil, ErrNoCapacity
+	}
+
+	if req.W.Config != nil {
+		// Tune framework parameters for the chosen per-node allocation
+		// (Table 3): mappers per allocated core, right-sized heap, gzip
+		// for disk-sensitive jobs.
+		first := asn.Nodes[0]
+		diskSensitive := req.Est.Tol[cluster.ResDiskIO] < 0.5
+		cfg := classify.TunedConfig(first.Alloc.Cores, first.Alloc.MemoryGB, diskSensitive)
+		asn.Config = &cfg
+	}
+	return asn, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

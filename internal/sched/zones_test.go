@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"testing"
+
+	"quasar/internal/workload"
+)
+
+// TestSpreadZonesDiversifiesAssignment: with zone spreading on, a
+// multi-node assignment should cover more fault zones than servers would
+// naturally provide, at near-equal estimated quality.
+func TestSpreadZonesDiversifiesAssignment(t *testing.T) {
+	zonesUsed := func(spread bool) (int, int) {
+		f := newFixture(t)
+		f.cl.AssignZones(4)
+		f.s.Opts.SpreadZones = spread
+		w := f.u.New(workload.Spec{Type: workload.Hadoop, Family: -1, MaxNodes: 8})
+		asn, err := f.s.Schedule(f.request(w, 200, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		zones := map[int]bool{}
+		for _, n := range asn.Nodes {
+			zones[n.Server.Zone] = true
+		}
+		return len(zones), len(asn.Nodes)
+	}
+	zOn, nOn := zonesUsed(true)
+	zOff, nOff := zonesUsed(false)
+	if nOn < 2 {
+		t.Skipf("assignment too small to spread (%d nodes)", nOn)
+	}
+	if zOn < zOff {
+		t.Fatalf("zone spreading reduced diversity: %d/%d vs %d/%d zones",
+			zOn, nOn, zOff, nOff)
+	}
+	// With 4 zones and several nodes, spreading should cover >1 zone.
+	if nOn >= 2 && zOn < 2 {
+		t.Fatalf("spread assignment stayed in one zone (%d nodes)", nOn)
+	}
+}
+
+// TestAssignZonesRoundRobin covers the cluster helper.
+func TestAssignZonesRoundRobin(t *testing.T) {
+	f := newFixture(t)
+	f.cl.AssignZones(3)
+	counts := map[int]int{}
+	for _, s := range f.cl.Servers {
+		counts[s.Zone]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("%d zones", len(counts))
+	}
+	for z, n := range counts {
+		if n < len(f.cl.Servers)/3-1 || n > len(f.cl.Servers)/3+1 {
+			t.Fatalf("zone %d has %d servers (unbalanced)", z, n)
+		}
+	}
+	// Degenerate argument.
+	f.cl.AssignZones(0)
+	for _, s := range f.cl.Servers {
+		if s.Zone != 0 {
+			t.Fatal("zero zones should collapse to one")
+		}
+	}
+}

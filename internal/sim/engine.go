@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock in seconds and an event heap. Events
+// are closures scheduled at absolute virtual times; ties are broken by
+// scheduling order so runs are fully deterministic. Recurring activities
+// (progress integration, monitoring) are expressed as periodic ticks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type event struct {
+	at    float64
+	seq   uint64
+	id    EventID
+	fn    func()
+	index int // heap index, -1 when popped or cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     float64
+	pq      eventHeap
+	nextSeq uint64
+	nextID  EventID
+	live    map[EventID]*event
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn at virtual time at. Scheduling in the past (at < Now)
+// panics: it indicates a logic error in the caller.
+func (e *Engine) Schedule(at float64, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %.6f before now %.6f", at, e.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: schedule at non-finite time %v", at))
+	}
+	e.nextID++
+	e.nextSeq++
+	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
+	heap.Push(&e.pq, ev)
+	e.live[ev.id] = ev
+	return ev.id
+}
+
+// After runs fn after delay seconds of virtual time.
+func (e *Engine) After(delay float64, fn func()) EventID {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or unknown
+// event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.live[id]
+	if !ok || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.pq, ev.index)
+	delete(e.live, id)
+	return true
+}
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Step fires the next event, advancing the clock to its time. It returns
+// false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	delete(e.live, ev.id)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the clock would pass until, or no events remain.
+// The clock finishes exactly at until.
+func (e *Engine) Run(until float64) {
+	for len(e.pq) > 0 && e.pq[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll fires every pending event, including ones scheduled by fired
+// events, until the heap is empty.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// Ticker schedules fn every period seconds starting at start, until the
+// returned stop function is called. fn receives the tick time.
+func (e *Engine) Ticker(start, period float64, fn func(now float64)) (stop func()) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	stopped := false
+	var tick func()
+	at := start
+	var id EventID
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		at += period
+		id = e.Schedule(at, tick)
+	}
+	id = e.Schedule(at, tick)
+	return func() {
+		stopped = true
+		e.Cancel(id)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a deterministic random source with the distributions the
+// simulator needs. Separate named streams keep experiment components
+// independent: adding draws to one stream never perturbs another.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Stream derives an independent generator for the named component. The
+// derivation mixes the name into the seed with an FNV-style hash, so streams
+// with different names are decorrelated.
+func (g *RNG) Stream(name string) *RNG {
+	const (
+		offset = 1469598103934665603
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	// Mix with a draw from the parent so identical names under different
+	// parents diverge.
+	h ^= g.r.Uint64()
+	return NewRNG(int64(h))
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform value in [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// Exponential returns an exponential draw with the given mean.
+func (g *RNG) Exponential(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Pareto returns a bounded Pareto draw with shape alpha on [lo, hi].
+func (g *RNG) Pareto(alpha, lo, hi float64) float64 {
+	u := g.r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Jitter returns x multiplied by a log-normal factor with the given
+// coefficient of variation; used for measurement noise.
+func (g *RNG) Jitter(x, cv float64) float64 {
+	if cv <= 0 {
+		return x
+	}
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	return x * g.LogNormal(-sigma*sigma/2, sigma)
+}

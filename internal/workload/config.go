@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Compression enumerates the codec choices of a Hadoop-style framework.
+type Compression int
+
+const (
+	CompressionNone Compression = iota
+	CompressionLZO
+	CompressionGzip
+)
+
+func (c Compression) String() string {
+	switch c {
+	case CompressionNone:
+		return "none"
+	case CompressionLZO:
+		return "lzo"
+	case CompressionGzip:
+		return "gzip"
+	}
+	return fmt.Sprintf("compression(%d)", int(c))
+}
+
+// Ratio returns the data-volume reduction factor of the codec (Table 3
+// reports 7.6 for gzip and 5.1 for lzo on job H8).
+func (c Compression) Ratio() float64 {
+	switch c {
+	case CompressionLZO:
+		return 5.1
+	case CompressionGzip:
+		return 7.6
+	default:
+		return 1
+	}
+}
+
+// cpuCost returns the compute overhead factor of the codec.
+func (c Compression) cpuCost() float64 {
+	switch c {
+	case CompressionLZO:
+		return 1.04
+	case CompressionGzip:
+		return 1.10
+	default:
+		return 1
+	}
+}
+
+// FrameworkConfig holds the tunable parameters of a Hadoop-style analytics
+// framework — the knobs Quasar sets in Table 3. They modulate the ground-
+// truth performance: the scale-up classification for analytics workloads
+// explores these alongside cores and memory (paper §3.2).
+type FrameworkConfig struct {
+	MappersPerNode int
+	HeapsizeGB     float64
+	BlockSizeMB    int
+	Replication    int
+	Compression    Compression
+}
+
+// DefaultHadoopConfig returns the stock Hadoop self-scheduler settings used
+// as the baseline in Table 3.
+func DefaultHadoopConfig() FrameworkConfig {
+	return FrameworkConfig{
+		MappersPerNode: 8,
+		HeapsizeGB:     1.0,
+		BlockSizeMB:    64,
+		Replication:    2,
+		Compression:    CompressionLZO,
+	}
+}
+
+// Validate checks the configuration is usable.
+func (c *FrameworkConfig) Validate() error {
+	switch {
+	case c.MappersPerNode <= 0:
+		return fmt.Errorf("workload: MappersPerNode %d", c.MappersPerNode)
+	case c.HeapsizeGB <= 0:
+		return fmt.Errorf("workload: HeapsizeGB %.2f", c.HeapsizeGB)
+	case c.BlockSizeMB <= 0:
+		return fmt.Errorf("workload: BlockSizeMB %d", c.BlockSizeMB)
+	case c.Replication < 1:
+		return fmt.Errorf("workload: Replication %d", c.Replication)
+	}
+	return nil
+}
+
+// ConfigEffect is how a framework configuration modulates the ground-truth
+// model on one node.
+type ConfigEffect struct {
+	// RateMult multiplies the node's work rate.
+	RateMult float64
+	// MemoryGB is the memory the framework needs on the node (heap times
+	// mappers plus overhead); an allocation below this starves tasks.
+	MemoryGB float64
+	// EffectiveCores caps the cores the framework actually exploits.
+	EffectiveCores int
+	// DiskMult multiplies the caused disk pressure (replication writes).
+	DiskMult float64
+}
+
+// Effect evaluates the configuration's impact for a job whose tasks have
+// the given per-task heap requirement (GB), on a node with allocCores
+// allocated cores.
+//
+// The shape follows Hadoop folklore the paper exploits for job H8:
+//   - Mappers beyond the allocated cores thrash; fewer mappers than cores
+//     leave cores idle.
+//   - Heap below the task's need causes spills (square-root penalty); heap
+//     above it is pure memory waste.
+//   - Small blocks add per-task scheduling overhead; huge blocks lose
+//     parallelism and straggle.
+//   - Compression trades CPU for I/O volume: high-ratio codecs win for
+//     I/O-bound jobs.
+//   - Replication multiplies write traffic.
+func (c *FrameworkConfig) Effect(taskHeapNeedGB float64, allocCores int, ioBoundFrac float64) ConfigEffect {
+	eff := ConfigEffect{RateMult: 1, DiskMult: 1}
+
+	// Task parallelism.
+	eff.EffectiveCores = c.MappersPerNode
+	if eff.EffectiveCores > allocCores {
+		// Oversubscribed mappers contend; mild penalty per extra mapper.
+		over := float64(c.MappersPerNode-allocCores) / float64(allocCores)
+		eff.RateMult *= 1 / (1 + 0.25*over)
+		eff.EffectiveCores = allocCores
+	}
+
+	// Heap sizing.
+	if c.HeapsizeGB < taskHeapNeedGB {
+		eff.RateMult *= math.Sqrt(c.HeapsizeGB / taskHeapNeedGB)
+	}
+	eff.MemoryGB = float64(c.MappersPerNode)*c.HeapsizeGB + 0.5
+
+	// Block size: optimum around 64-256 MB.
+	switch {
+	case c.BlockSizeMB < 32:
+		eff.RateMult *= 0.85
+	case c.BlockSizeMB > 512:
+		eff.RateMult *= 0.90
+	}
+
+	// Compression: the I/O-bound fraction of the job speeds up by the
+	// codec ratio; the whole job pays the CPU cost.
+	ratio := c.Compression.Ratio()
+	ioSpeed := 1 / (1 - ioBoundFrac + ioBoundFrac/ratio)
+	eff.RateMult *= ioSpeed / c.Compression.cpuCost()
+
+	// Replication.
+	eff.DiskMult = float64(c.Replication)
+
+	return eff
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+
+	"quasar/internal/cluster"
+	"quasar/internal/perfmodel"
+)
+
+// The oracle functions evaluate ground-truth performance over candidate
+// allocations on idle machines. They are used only by experiment harnesses
+// — to set performance targets (the paper sweeps parameters to find each
+// job's best achievable performance) and to score how close a manager's
+// decisions come to optimal. The cluster manager itself never calls them.
+
+// oracleNodeCounts is the scale-out sweep grid.
+func oracleNodeCounts(maxNodes int) []int {
+	grid := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 100}
+	var out []int
+	for _, n := range grid {
+		if n <= maxNodes {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// uniformNodes builds an n-node allocation of whole servers of platform p.
+func uniformNodes(p *cluster.Platform, n int, alloc cluster.Alloc) []perfmodel.NodeAlloc {
+	nodes := make([]perfmodel.NodeAlloc, n)
+	for i := range nodes {
+		nodes[i] = perfmodel.NodeAlloc{Platform: p, Alloc: alloc}
+	}
+	return nodes
+}
+
+// configCandidates enumerates framework configurations for the oracle
+// sweep of configured jobs.
+func configCandidates(base *FrameworkConfig, cores int) []*FrameworkConfig {
+	if base == nil {
+		return []*FrameworkConfig{nil}
+	}
+	var out []*FrameworkConfig
+	for _, mappers := range []int{cores / 2, cores, cores + cores/2} {
+		if mappers < 1 {
+			continue
+		}
+		for _, heap := range []float64{0.5, 0.75, 1.0, 1.5} {
+			for _, comp := range []Compression{CompressionLZO, CompressionGzip} {
+				c := *base
+				c.MappersPerNode = mappers
+				c.HeapsizeGB = heap
+				c.Compression = comp
+				out = append(out, &c)
+			}
+		}
+	}
+	return out
+}
+
+// OracleBestCompletion returns the best achievable completion time of a
+// batch workload over platforms, node counts up to maxNodes, whole-node
+// allocations, and (for configured jobs) framework parameter settings. It
+// also returns the node count that achieved it.
+func OracleBestCompletion(w *Instance, platforms []cluster.Platform, maxNodes int) (secs float64, bestNodes int) {
+	origCfg := w.Config
+	defer func() { w.Config = origCfg }()
+
+	best := math.Inf(1)
+	bestNodes = 1
+	for pi := range platforms {
+		p := &platforms[pi]
+		alloc := cluster.Alloc{Cores: p.Cores, MemoryGB: p.MemoryGB}
+		for _, cfg := range configCandidates(origCfg, p.Cores) {
+			w.Config = cfg
+			for _, n := range oracleNodeCounts(maxNodes) {
+				t := w.CompletionTime(uniformNodes(p, n, alloc))
+				if t < best {
+					best = t
+					bestNodes = n
+				}
+			}
+		}
+	}
+	return best, bestNodes
+}
+
+// OracleCapacityQPS returns the best achievable saturation throughput of a
+// latency service over platforms and node counts up to maxNodes.
+func OracleCapacityQPS(w *Instance, platforms []cluster.Platform, maxNodes int) float64 {
+	best := 0.0
+	for pi := range platforms {
+		p := &platforms[pi]
+		alloc := cluster.Alloc{Cores: p.Cores, MemoryGB: p.MemoryGB}
+		for _, n := range oracleNodeCounts(maxNodes) {
+			if c := w.CapacityQPS(uniformNodes(p, n, alloc)); c > best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// OracleBestIPS returns the best single-node rate of a workload over whole
+// servers of every platform.
+func OracleBestIPS(w *Instance, platforms []cluster.Platform) float64 {
+	best := 0.0
+	for pi := range platforms {
+		p := &platforms[pi]
+		r := w.NodeRate(p, cluster.Alloc{Cores: p.Cores, MemoryGB: p.MemoryGB}, cluster.ResVec{})
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// OracleBestConfig returns the framework configuration and platform the
+// oracle sweep picks for a configured job (what Table 3 reports for Quasar
+// on job H8), along with the completion time it achieves on bestNodes
+// whole nodes.
+func OracleBestConfig(w *Instance, platforms []cluster.Platform, maxNodes int) (FrameworkConfig, string, float64) {
+	origCfg := w.Config
+	defer func() { w.Config = origCfg }()
+	if origCfg == nil {
+		return FrameworkConfig{}, "", math.Inf(1)
+	}
+	best := math.Inf(1)
+	var bestCfg FrameworkConfig
+	bestPlat := ""
+	for pi := range platforms {
+		p := &platforms[pi]
+		alloc := cluster.Alloc{Cores: p.Cores, MemoryGB: p.MemoryGB}
+		for _, cfg := range configCandidates(origCfg, p.Cores) {
+			w.Config = cfg
+			for _, n := range oracleNodeCounts(maxNodes) {
+				t := w.CompletionTime(uniformNodes(p, n, alloc))
+				if t < best {
+					best = t
+					bestCfg = *cfg
+					bestPlat = p.Name
+				}
+			}
+		}
+	}
+	return bestCfg, bestPlat, best
+}

@@ -1,0 +1,109 @@
+package quasar_test
+
+import (
+	"testing"
+
+	"quasar"
+)
+
+// TestPublicAPIEndToEnd drives the whole system through the public facade:
+// build a cluster, seed the manager, submit a batch job, a latency service,
+// and best-effort fillers, and verify the outcomes.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cl, err := quasar.NewLocalCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Servers) != 40 {
+		t.Fatalf("%d servers", len(cl.Servers))
+	}
+	rt := quasar.NewRuntime(cl, quasar.RuntimeOptions{TickSecs: 5, SampleSecs: 60, Seed: 3})
+	u := quasar.NewUniverse(cl.Platforms, 3, 3)
+	mgr := quasar.NewManager(rt, quasar.DefaultManagerOptions())
+	mgr.SeedLibrary(quasar.Library(u, 2))
+	rt.SetManager(mgr)
+
+	job := u.New(quasar.Spec{Type: quasar.Hadoop, Family: 0, MaxNodes: 4, TargetSlack: 1.3,
+		Dataset: quasar.Dataset{Name: "api", SizeGB: 10, WorkMult: 1, MemMult: 1}})
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobTask := rt.Submit(job, 0, nil)
+
+	svc := u.New(quasar.Spec{Type: quasar.Webserver, Family: 0, MaxNodes: 4})
+	svcTask := rt.Submit(svc, 10, quasar.FlatLoad{QPS: 0.6 * svc.Target.QPS})
+
+	for i := 0; i < 10; i++ {
+		be := u.New(quasar.Spec{Type: quasar.SingleNode, Family: -1, BestEffort: true})
+		rt.Submit(be, float64(20+i*5), nil)
+	}
+
+	rt.Run(job.Target.CompletionSecs*2 + 1200)
+	rt.Stop()
+
+	if jobTask.Status != quasar.StatusCompleted {
+		t.Fatalf("batch job status %v", jobTask.Status)
+	}
+	elapsed := jobTask.DoneAt - jobTask.SubmitAt
+	if elapsed > 1.6*job.Target.CompletionSecs {
+		t.Fatalf("job took %.0fs vs target %.0fs", elapsed, job.Target.CompletionSecs)
+	}
+	if svcTask.Status != quasar.StatusRunning {
+		t.Fatalf("service status %v", svcTask.Status)
+	}
+	if qos := svcTask.QoSFrac.MeanBetween(600, 1e18); qos < 0.8 {
+		t.Fatalf("service QoS %.2f", qos)
+	}
+	if rt.CPUHeat.MeanOverall() <= 0 {
+		t.Fatal("no utilization recorded")
+	}
+}
+
+// TestPublicAPIBaseline exercises a baseline manager through the facade.
+func TestPublicAPIBaseline(t *testing.T) {
+	cl, err := quasar.NewEC2Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Servers) != 200 {
+		t.Fatalf("%d servers", len(cl.Servers))
+	}
+	rt := quasar.NewRuntime(cl, quasar.RuntimeOptions{TickSecs: 10, Seed: 5})
+	u := quasar.NewUniverse(cl.Platforms, 5, 2)
+	opts := quasar.DefaultBaselineOptions()
+	opts.Misestimate = false
+	rt.SetManager(quasar.NewBaseline(rt, opts))
+
+	w := u.New(quasar.Spec{Type: quasar.Hadoop, Family: 0, MaxNodes: 3, TargetSlack: 1.5,
+		Dataset: quasar.Dataset{Name: "api", SizeGB: 10, WorkMult: 0.5, MemMult: 1}})
+	task := rt.Submit(w, 0, nil)
+	rt.Run(30000)
+	rt.Stop()
+	if task.Status != quasar.StatusCompleted {
+		t.Fatalf("status %v", task.Status)
+	}
+}
+
+// TestDeterminism: two identical runs through the public API produce
+// identical outcomes.
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, int) {
+		cl, _ := quasar.NewLocalCluster()
+		rt := quasar.NewRuntime(cl, quasar.RuntimeOptions{TickSecs: 5, Seed: 9})
+		u := quasar.NewUniverse(cl.Platforms, 9, 2)
+		mgr := quasar.NewManager(rt, quasar.DefaultManagerOptions())
+		mgr.SeedLibrary(quasar.Library(u, 2))
+		rt.SetManager(mgr)
+		w := u.New(quasar.Spec{Type: quasar.Spark, Family: 0, MaxNodes: 3, TargetSlack: 1.3,
+			Dataset: quasar.Dataset{Name: "det", SizeGB: 10, WorkMult: 2, MemMult: 1}})
+		task := rt.Submit(w, 0, nil)
+		rt.Run(20000)
+		rt.Stop()
+		return task.DoneAt, task.PeakCores
+	}
+	d1, c1 := run()
+	d2, c2 := run()
+	if d1 != d2 || c1 != c2 {
+		t.Fatalf("runs diverged: (%v,%v) vs (%v,%v)", d1, c1, d2, c2)
+	}
+}
