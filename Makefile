@@ -1,0 +1,36 @@
+# Local developer workflow, mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test race lint bench fmt-check ci
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the short test suite under the race detector (the CI lane)
+race:
+	$(GO) test -race -short ./...
+
+## lint: gofmt, go vet, and the repository's own static-analysis suite
+lint: fmt-check
+	$(GO) vet ./...
+	$(GO) run ./cmd/quasar-lint ./...
+
+## bench: run the repository benchmarks
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+## fmt-check: fail if any file needs gofmt
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## ci: everything the CI pipeline runs
+ci: fmt-check build lint race

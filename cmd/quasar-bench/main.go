@@ -146,7 +146,7 @@ func main() {
 			die(err)
 			res.Print(os.Stdout)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", name)
+			_, _ = fmt.Fprintf(os.Stderr, "unknown artifact %q\n", name)
 			os.Exit(2)
 		}
 		fmt.Printf("[%s done in %.1fs]\n\n", name, time.Since(start).Seconds())
@@ -155,7 +155,7 @@ func main() {
 
 func die(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }

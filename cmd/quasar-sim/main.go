@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"quasar/internal/core"
@@ -53,7 +54,7 @@ func main() {
 		Cluster: cl, Manager: kind, Seed: *seed, MaxNodes: 4, SeedLib: 3, Misestimate: true,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 
@@ -103,7 +104,7 @@ func main() {
 			continue
 		}
 		v := experiments.PerfNormalizedToTarget(s.RT, t)
-		if v != v {
+		if math.IsNaN(v) {
 			continue
 		}
 		if *verbose {

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the seeded-simulation contract: identical seeds
+// must produce identical results. It flags three nondeterminism sources
+// in the simulation, classification, scheduling, and experiment packages:
+//
+//  1. draws from math/rand's unseeded global source (use a seeded
+//     *rand.Rand, e.g. sim.NewRNG);
+//  2. bare time.Now() outside the wall-clock allowlist (simulation code
+//     must use the engine's virtual clock or an injected clock);
+//  3. iteration over a map that appends to a slice declared outside the
+//     loop without a subsequent deterministic sort — the slice's order
+//     then depends on Go's randomized map iteration.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags unseeded global math/rand draws, bare time.Now(), and " +
+		"unsorted result accumulation across map iteration in simulation code",
+	Scope: []string{
+		"internal/sim",
+		"internal/experiments",
+		"internal/classify",
+		"internal/sched",
+		"internal/core",
+	},
+	Run: runDeterminism,
+}
+
+// wallClockAllowlist names the functions (as pkgpath.Func or
+// pkgpath.Recv.Method) that are sanctioned wall-clock readers: overhead
+// measurement that is intentionally not simulated. Everything else must
+// inject a clock or use virtual time.
+var wallClockAllowlist = map[string]bool{
+	"quasar/internal/experiments.wallClock": true,
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from (or mutate) the shared global source. Constructors like rand.New
+// and rand.NewSource are deliberately absent: they are how seeded
+// generators are built.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncDeterminism(pass, fd)
+		}
+	}
+}
+
+func checkFuncDeterminism(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkgPath, name, ok := pkgFuncCall(pass, n); ok {
+				switch {
+				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[name]:
+					pass.Reportf(n.Pos(),
+						"call to global math/rand.%s draws from the unseeded shared source; use a seeded generator (sim.NewRNG)", name)
+				case pkgPath == "time" && name == "Now" && !wallClockAllowlist[funcKey(pass, fd)]:
+					pass.Reportf(n.Pos(),
+						"bare time.Now() is nondeterministic under fixed seeds; use the sim engine's virtual clock or an injected clock")
+				}
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// pkgFuncCall resolves a call of the form pkg.Func where pkg is an
+// imported package name, returning the package path and function name.
+func pkgFuncCall(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// funcKey renders fd as pkgpath.Func or pkgpath.Recv.Method for allowlist
+// lookups.
+func funcKey(pass *Pass, fd *ast.FuncDecl) string {
+	key := pass.Pkg.Path + "."
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if gen, ok := t.(*ast.IndexExpr); ok { // generic receiver
+			t = gen.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			key += id.Name + "."
+		}
+	}
+	return key + fd.Name.Name
+}
+
+// checkMapRange flags `for ... := range m` over a map when the loop body
+// appends to a slice declared outside the loop and no deterministic sort
+// of that slice follows the loop in the same function.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	tv, ok := pass.Pkg.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Collect slices declared outside the loop that the body appends to.
+	var targets []types.Object
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Pkg.Info.Defs[id]
+			}
+			// Only slices that outlive the loop iteration matter.
+			if obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End()) {
+				targets = append(targets, obj)
+			}
+		}
+		return true
+	})
+	for _, obj := range targets {
+		if !sortedAfter(pass, fd, rs, obj) {
+			pass.Reportf(rs.For,
+				"map iteration order is randomized: %s is appended to inside this loop; sort the keys first or sort %s afterwards",
+				obj.Name(), obj.Name())
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether fd contains, after the range statement, a
+// sorting call — sort.*, slices.Sort*, or a local helper whose name
+// contains "sort" — that mentions obj among its arguments.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes deterministic-ordering calls: the sort and slices
+// packages, plus any function whose name mentions "sort" (local helpers
+// like sortInts).
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	if pkgPath, _, ok := pkgFuncCall(pass, call); ok {
+		if pkgPath == "sort" || pkgPath == "slices" {
+			return true
+		}
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+// mentionsObject reports whether expr references obj anywhere in its
+// subtree.
+func mentionsObject(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

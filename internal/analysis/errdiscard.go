@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDiscard flags call statements whose error result is silently
+// dropped: `f()` as a bare statement when f returns an error. A dropped
+// error hides exactly the failures — snapshot decode mismatches, invalid
+// configurations — that the reproduction's invariants depend on
+// surfacing. Assign the error (even to _, which at least documents the
+// decision) or handle it.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc: "flags expression statements that discard an error return; " +
+		"handle the error or assign it explicitly",
+	Run: runErrDiscard,
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+// ignoredCallees are callees whose error results are conventionally
+// dropped (terminal output to stdout), mirroring errcheck's default
+// ignore list. Fprint* variants are still flagged: their writer may be a
+// file or buffer where a short write matters.
+var ignoredCallees = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+}
+
+func runErrDiscard(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ignoredCallees[calleeName(call)] {
+				return true
+			}
+			if returnsError(pass, call) {
+				pass.Reportf(call.Pos(),
+					"error result of %s is silently discarded; handle it or assign it explicitly",
+					calleeName(call))
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result type is error or a tuple
+// containing an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// calleeName renders the called expression for the diagnostic message.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

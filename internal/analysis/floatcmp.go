@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands. Exact float
+// equality is almost never what simulation or classification code means:
+// accumulated rounding makes mathematically equal quantities compare
+// unequal, and the failure is silent and seed-dependent. Compare with
+// quasar/internal/floats.AlmostEqual (or an explicit tolerance) instead;
+// genuinely intentional exact comparisons — sort tie-breaks, sentinel
+// values — carry a //lint:allow(floatcmp) annotation saying so.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flags exact ==/!= comparison of floating-point values; use " +
+		"floats.AlmostEqual or annotate the intentional exact comparison",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if tv, ok := pass.Pkg.Info.Types[be]; ok && tv.Value != nil {
+				// The whole comparison is a compile-time constant.
+				return true
+			}
+			if isFloat(pass, be.X) && isFloat(pass, be.Y) {
+				pass.Reportf(be.OpPos,
+					"exact %s comparison of floating-point values; use floats.AlmostEqual or annotate with //lint:allow(floatcmp)",
+					be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether expr has a floating-point type (float32,
+// float64, or a named type with such an underlying type).
+func isFloat(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Explicit marks packages named directly on the command line, as
+	// opposed to matched by a ./... pattern. Explicit packages bypass
+	// analyzer scopes.
+	Explicit bool
+	// Files holds the parsed non-test sources in filename order. Test
+	// files are outside the suite's remit (they are exercised by the test
+	// suite itself) and are neither parsed nor type-checked.
+	Files []*ast.File
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses, and type-checks the packages of a single Go
+// module using only the standard library. Module-local imports are
+// resolved through the loader's own cache (type-checking dependencies
+// first); all other imports go to the compiler's export data, falling
+// back to type-checking the dependency from source.
+type Loader struct {
+	// Fset positions every file the loader touches.
+	Fset *token.FileSet
+
+	root       string // module root: the directory containing go.mod
+	modulePath string
+	pkgs       map[string]*Package // keyed by import path
+	checking   map[string]bool     // import-cycle guard
+	std        types.ImporterFrom  // export-data importer
+	src        types.ImporterFrom  // source importer fallback
+}
+
+// NewLoader returns a loader for the module rooted at root (the directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePathOf(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		root:       abs,
+		modulePath: modPath,
+		pkgs:       make(map[string]*Package),
+		checking:   make(map[string]bool),
+	}, nil
+}
+
+// modulePathOf reads the module path from a go.mod file.
+func modulePathOf(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Load resolves the given patterns to packages and type-checks them.
+// Supported patterns: "./..." (every package under the module root,
+// skipping testdata, vendor, and hidden directories), a "dir/..." prefix
+// walk, or a plain directory path. Directory patterns without "..." are
+// marked Explicit.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	explicit := make(map[string]bool)
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = l.root
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.root, dir)
+		}
+		dirs := []string{dir}
+		if recursive {
+			var err error
+			dirs, err = walkPackageDirs(dir)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range dirs {
+			ip, err := l.importPathFor(d)
+			if err != nil {
+				return nil, err
+			}
+			if seen[ip] {
+				continue
+			}
+			seen[ip] = true
+			paths = append(paths, ip)
+			if !recursive {
+				explicit[ip] = true
+			}
+		}
+	}
+	var out []*Package
+	for _, ip := range paths {
+		pkg, err := l.loadPath(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Explicit = pkg.Explicit || explicit[ip]
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// walkPackageDirs returns every directory under root that contains at
+// least one non-test .go file, skipping testdata, vendor, and
+// hidden/underscore directories.
+func walkPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goSourceNames(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// goSourceNames lists the non-test .go files in dir, sorted.
+func goSourceNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	return names, nil
+}
+
+// importPathFor maps an absolute or module-relative directory to its
+// import path within the module.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.root)
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor inverts importPathFor.
+func (l *Loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(importPath, l.modulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// loadPath parses and type-checks the package at the given module-local
+// import path, loading its module-local dependencies first.
+func (l *Loader) loadPath(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.checking[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.checking[importPath] = true
+	defer delete(l.checking, importPath)
+
+	dir := l.dirFor(importPath)
+	names, err := goSourceNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go sources in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// local reports whether an import path belongs to the module under
+// analysis.
+func (l *Loader) local(path string) bool {
+	return path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")
+}
+
+// importNonLocal resolves a dependency outside the module: first from the
+// compiler's export data (fast), then by type-checking it from source.
+func (l *Loader) importNonLocal(path, dir string) (*types.Package, error) {
+	if l.std == nil {
+		if imp, ok := importer.Default().(types.ImporterFrom); ok {
+			l.std = imp
+		}
+	}
+	if l.std != nil {
+		if pkg, err := l.std.ImportFrom(path, dir, 0); err == nil {
+			return pkg, nil
+		}
+	}
+	if l.src == nil {
+		l.src = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
+	}
+	return l.src.ImportFrom(path, dir, 0)
+}
+
+// loaderImporter adapts the loader to go/types' Importer interfaces.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, li.root, 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if l.local(path) {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.importNonLocal(path, dir)
+}

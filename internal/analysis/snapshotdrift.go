@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// SnapshotDrift guards the hot-standby snapshot formats (§4.4 fault
+// tolerance). For every struct named *Snapshot declared in a file called
+// snapshot.go it verifies that
+//
+//  1. every field is exported — encoding/json silently drops unexported
+//     fields, so an unexported field is state lost on failover;
+//  2. every field's type round-trips through encoding/json (no channels,
+//     funcs, complex numbers, interfaces, or structs hiding unexported
+//     fields, unless the type implements json.Marshaler/Unmarshaler);
+//  3. every field is referenced by at least one encode-side function
+//     (Snapshot/Marshal/Export) and one decode-side function
+//     (Restore/Load/Unmarshal/From) in the same package, so a field added
+//     to the struct but forgotten in either path is caught at lint time.
+var SnapshotDrift = &Analyzer{
+	Name: "snapshotdrift",
+	Doc: "verifies snapshot structs hold only exported, JSON-encodable " +
+		"fields, each referenced by both the encode and decode paths",
+	Run: runSnapshotDrift,
+}
+
+var (
+	decodeNameHints = []string{"Restore", "Load", "Unmarshal", "From"}
+	encodeNameHints = []string{"Snapshot", "Marshal", "Export"}
+)
+
+// funcRole classifies a function declaration as encode-side, decode-side,
+// or neither, by name. Decode hints win so UnmarshalSnapshot is decode.
+type funcRole int
+
+const (
+	roleNone funcRole = iota
+	roleEncode
+	roleDecode
+)
+
+func roleOf(name string) funcRole {
+	for _, h := range decodeNameHints {
+		if strings.Contains(name, h) {
+			return roleDecode
+		}
+	}
+	for _, h := range encodeNameHints {
+		if strings.Contains(name, h) {
+			return roleEncode
+		}
+	}
+	return roleNone
+}
+
+func runSnapshotDrift(pass *Pass) {
+	// Snapshot structs declared in snapshot.go files.
+	type snapStruct struct {
+		name   string
+		fields []*types.Var
+	}
+	var snaps []snapStruct
+	for _, file := range pass.Pkg.Files {
+		if filepath.Base(pass.Fset.Position(file.Package).Filename) != "snapshot.go" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !strings.HasSuffix(ts.Name.Name, "Snapshot") {
+					continue
+				}
+				obj := pass.Pkg.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				ss := snapStruct{name: ts.Name.Name}
+				for i := 0; i < st.NumFields(); i++ {
+					ss.fields = append(ss.fields, st.Field(i))
+				}
+				snaps = append(snaps, ss)
+			}
+		}
+	}
+	if len(snaps) == 0 {
+		return
+	}
+
+	// Index every use of a snapshot field by the role of the enclosing
+	// top-level function.
+	fieldSet := make(map[types.Object]bool)
+	for _, ss := range snaps {
+		for _, f := range ss.fields {
+			fieldSet[f] = true
+		}
+	}
+	refs := make(map[types.Object]map[funcRole]bool)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			role := roleOf(fd.Name.Name)
+			if role == roleNone {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := pass.Pkg.Info.Uses[id]; obj != nil && fieldSet[obj] {
+					m := refs[obj]
+					if m == nil {
+						m = make(map[funcRole]bool)
+						refs[obj] = m
+					}
+					m[role] = true
+				}
+				return true
+			})
+		}
+	}
+
+	for _, ss := range snaps {
+		for _, f := range ss.fields {
+			switch {
+			case !f.Exported():
+				pass.Reportf(f.Pos(),
+					"snapshot field %s.%s is unexported: encoding/json drops it silently, losing state on failover",
+					ss.name, f.Name())
+			case !encodable(f.Type(), make(map[types.Type]bool)):
+				pass.Reportf(f.Pos(),
+					"snapshot field %s.%s has type %s, which does not round-trip through encoding/json",
+					ss.name, f.Name(), f.Type())
+			default:
+				if !refs[f][roleEncode] {
+					pass.Reportf(f.Pos(),
+						"snapshot field %s.%s is never written by an encode-side function (%s): snapshots will omit it",
+						ss.name, f.Name(), strings.Join(encodeNameHints, "/"))
+				}
+				if !refs[f][roleDecode] {
+					pass.Reportf(f.Pos(),
+						"snapshot field %s.%s is never read by a decode-side function (%s): restores will ignore it",
+						ss.name, f.Name(), strings.Join(decodeNameHints, "/"))
+				}
+			}
+		}
+	}
+}
+
+// encodable reports whether t survives a JSON encode/decode round trip.
+func encodable(t types.Type, visited map[types.Type]bool) bool {
+	if visited[t] {
+		return true // assume cycles are fine; the outer layers decide
+	}
+	visited[t] = true
+	if implementsJSONRoundTrip(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		info := u.Info()
+		return info&(types.IsBoolean|types.IsInteger|types.IsFloat|types.IsString) != 0
+	case *types.Pointer:
+		return encodable(u.Elem(), visited)
+	case *types.Slice:
+		return encodable(u.Elem(), visited)
+	case *types.Array:
+		return encodable(u.Elem(), visited)
+	case *types.Map:
+		kb, ok := u.Key().Underlying().(*types.Basic)
+		if !ok || kb.Info()&(types.IsString|types.IsInteger) == 0 {
+			return false
+		}
+		return encodable(u.Elem(), visited)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() || !encodable(f.Type(), visited) {
+				return false
+			}
+		}
+		return true
+	default:
+		// Interfaces, channels, funcs, complex numbers, unsafe pointers.
+		return false
+	}
+}
+
+// implementsJSONRoundTrip reports whether t (or *t) has MarshalJSON and
+// UnmarshalJSON methods, i.e. the type manages its own encoding.
+func implementsJSONRoundTrip(t types.Type) bool {
+	return hasMethod(t, "MarshalJSON") && hasMethod(types.NewPointer(t), "UnmarshalJSON")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -1,0 +1,21 @@
+// Package errdiscard_bad is a known-bad fixture: silently dropped error
+// returns the errdiscard analyzer must flag.
+package errdiscard_bad
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Drop discards errors three ways: a bare error return, an error in a
+// tuple, and a write to an arbitrary writer.
+func Drop(w io.Writer) {
+	work()
+	pair()
+	fmt.Fprintf(w, "hello")
+}

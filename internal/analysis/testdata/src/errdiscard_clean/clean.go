@@ -1,0 +1,24 @@
+// Package errdiscard_clean is a known-clean fixture: handled, explicitly
+// discarded, and conventionally ignored errors must produce no errdiscard
+// diagnostics.
+package errdiscard_clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+func work() error { return errors.New("boom") }
+
+func void() {}
+
+// Handle shows the accepted patterns.
+func Handle() error {
+	if err := work(); err != nil {
+		return err
+	}
+	_ = work()          // explicit, documented discard
+	fmt.Println("done") // stdout printer: conventionally ignored
+	void()              // no error to drop
+	return nil
+}

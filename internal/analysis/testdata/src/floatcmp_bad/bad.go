@@ -1,0 +1,12 @@
+// Package floatcmp_bad is a known-bad fixture: exact float comparisons
+// the floatcmp analyzer must flag.
+package floatcmp_bad
+
+// Equal compares float64 values exactly.
+func Equal(a, b float64) bool { return a == b }
+
+// Different compares float32 values exactly.
+func Different(a, b float32) bool { return a != b }
+
+// ZeroCheck compares a computed value against a float literal.
+func ZeroCheck(a, b float64) bool { return a*b == 0 }

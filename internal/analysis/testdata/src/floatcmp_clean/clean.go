@@ -1,0 +1,19 @@
+// Package floatcmp_clean is a known-clean fixture: tolerance-based
+// comparison, integer equality, and an annotated sentinel check must
+// produce no floatcmp diagnostics.
+package floatcmp_clean
+
+import "math"
+
+const tol = 1e-9
+
+// Equal compares within a tolerance.
+func Equal(a, b float64) bool { return math.Abs(a-b) <= tol }
+
+// IntEqual is integer equality: not the analyzer's business.
+func IntEqual(a, b int) bool { return a == b }
+
+// Unset checks a sentinel with documented intent.
+func Unset(x float64) bool {
+	return x == 0 //lint:allow(floatcmp) fixture: zero is an exact sentinel, never computed
+}

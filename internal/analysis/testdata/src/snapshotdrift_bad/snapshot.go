@@ -1,0 +1,22 @@
+// Package snapshotdrift_bad is a known-bad fixture: StateSnapshot drifts
+// in every way the snapshotdrift analyzer checks.
+package snapshotdrift_bad
+
+// StateSnapshot is a broken snapshot format.
+type StateSnapshot struct {
+	ID      string   // fine: exported, encodable, referenced both ways
+	count   int      // unexported: encoding/json drops it
+	Notify  chan int // not JSON-encodable
+	Skipped float64  // never referenced by encode or decode
+	Extra   string   // encoded but never decoded
+}
+
+// Snapshot is the encode side.
+func Snapshot(id, extra string, n int) *StateSnapshot {
+	return &StateSnapshot{ID: id, Extra: extra, count: n}
+}
+
+// Restore is the decode side.
+func Restore(s *StateSnapshot) string {
+	return s.ID
+}

@@ -1,0 +1,21 @@
+// Package snapshotdrift_clean is a known-clean fixture: every field of
+// StateSnapshot is exported, encodable, and referenced by both the encode
+// and decode paths.
+package snapshotdrift_clean
+
+// StateSnapshot is a well-formed snapshot format.
+type StateSnapshot struct {
+	ID    string         `json:"id"`
+	Vals  []float64      `json:"vals"`
+	Index map[string]int `json:"index"`
+}
+
+// Snapshot is the encode side.
+func Snapshot(id string, vals []float64, index map[string]int) *StateSnapshot {
+	return &StateSnapshot{ID: id, Vals: vals, Index: index}
+}
+
+// Restore is the decode side.
+func Restore(s *StateSnapshot) (string, []float64, map[string]int) {
+	return s.ID, s.Vals, s.Index
+}

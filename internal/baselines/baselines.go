@@ -224,7 +224,7 @@ func (b *Baseline) rankServers(t *core.Task, st *resState, alloc cluster.Alloc) 
 		sort.Slice(servers, func(i, j int) bool {
 			qi := b.paragonQuality(t, st, servers[i])
 			qj := b.paragonQuality(t, st, servers[j])
-			if qi != qj {
+			if qi != qj { //lint:allow(floatcmp) sort tie-break: any consistent order is fine
 				return qi > qj
 			}
 			return servers[i].ID < servers[j].ID

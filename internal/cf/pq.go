@@ -263,12 +263,12 @@ func solve(a [][]float64, b []float64) []float64 {
 		a[col], a[piv] = a[piv], a[col]
 		b[col], b[piv] = b[piv], b[col]
 		d := a[col][col]
-		if d == 0 {
+		if d == 0 { //lint:allow(floatcmp) exact-zero pivot guard before division
 			continue
 		}
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] / d
-			if f == 0 {
+			if f == 0 { //lint:allow(floatcmp) exactly-zero factor: row already eliminated
 				continue
 			}
 			for c := col; c < n; c++ {
@@ -283,7 +283,7 @@ func solve(a [][]float64, b []float64) []float64 {
 		for c := r + 1; c < n; c++ {
 			s -= a[r][c] * x[c]
 		}
-		if a[r][r] != 0 {
+		if a[r][r] != 0 { //lint:allow(floatcmp) exact-zero guard before division
 			x[r] = s / a[r][r]
 		}
 	}

@@ -48,7 +48,7 @@ func ComputeSVD(a *Dense) *SVD {
 					beta += w[q][i] * w[q][i]
 					gamma += w[p][i] * w[q][i]
 				}
-				if alpha == 0 || beta == 0 {
+				if alpha == 0 || beta == 0 { //lint:allow(floatcmp) exactly-zero column norms: rotation undefined
 					continue
 				}
 				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
@@ -147,7 +147,7 @@ func (d *SVD) Reconstruct() *Dense {
 // Rank returns the number of singular values above eps relative to the
 // largest.
 func (d *SVD) Rank(eps float64) int {
-	if len(d.S) == 0 || d.S[0] == 0 {
+	if len(d.S) == 0 || d.S[0] == 0 { //lint:allow(floatcmp) exact-zero guard before relative threshold
 		return 0
 	}
 	r := 0

@@ -50,7 +50,7 @@ func (es *Estimates) deriveBeta(observed map[int]float64) {
 		num += w * x * es.SOLog[j]
 		den += w * x * x
 	}
-	if den == 0 {
+	if den == 0 { //lint:allow(floatcmp) exact-zero guard before division
 		es.beta = 1
 		return
 	}

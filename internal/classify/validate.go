@@ -132,7 +132,9 @@ func ValidateExhaustiveWith(x *Exhaustive, w *workload.Instance, noisy *GroundTr
 	// single-node configuration.
 	refTruth := 0.0
 	for _, col := range x.Cols {
-		if col.Nodes == 1 && col.CoreFrac == 1.0 {
+		// CoreFrac values come from a fixed configuration grid, so the
+		// full-machine column is exactly 1.0.
+		if col.Nodes == 1 && col.CoreFrac == 1.0 { //lint:allow(floatcmp)
 			if tr := truth.JointPerf(col.PlatformIdx, 1, col.Alloc(x.Platforms)); tr > refTruth {
 				refTruth = tr
 			}

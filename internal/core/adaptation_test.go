@@ -35,6 +35,9 @@ func TestFeedbackLoopCorrectsPlatformMisestimate(t *testing.T) {
 // TestPhaseChangeTriggersReclassification: halving a running workload's
 // rate must produce a reactive phase event.
 func TestPhaseChangeTriggersReclassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phase-change scenario runs ~5s under -race")
+	}
 	rt, q, u := quasarFixture(t, 103)
 	w := u.New(workload.Spec{Type: workload.SingleNode, Family: -1, TargetSlack: 1.2})
 	w.Genome.Work = 1e9
@@ -97,6 +100,9 @@ func TestBestEffortAvoidsSensitiveResidents(t *testing.T) {
 
 // TestReclaimReturnsIdleCores: a service whose load collapses must shrink.
 func TestReclaimReturnsIdleCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reclaim scenario runs ~3s under -race")
+	}
 	rt, _, u := quasarFixture(t, 109)
 	w := u.New(workload.Spec{Type: workload.Webserver, Family: -1, MaxNodes: 8})
 	task := rt.Submit(w, 0, loadgen.Spike{
@@ -113,6 +119,9 @@ func TestReclaimReturnsIdleCores(t *testing.T) {
 // TestAdjustmentCooldownPreventsFlapping: allocation changes are spaced by
 // the cooldown even under persistent deviation.
 func TestAdjustmentCooldownPreventsFlapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cooldown scenario runs ~3s under -race")
+	}
 	rt, _, u := quasarFixture(t, 113)
 	w := u.New(workload.Spec{Type: workload.Hadoop, Family: 0, MaxNodes: 4, TargetSlack: 1.0,
 		Dataset: workload.Dataset{Name: "cool", SizeGB: 20, WorkMult: 3, MemMult: 1}})
@@ -139,6 +148,9 @@ func TestAdjustmentCooldownPreventsFlapping(t *testing.T) {
 // TestEvictionRequeuesBestEffort: fillers displaced by a primary workload
 // must come back once capacity frees up.
 func TestEvictionRequeuesBestEffort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eviction scenario runs ~3s under -race")
+	}
 	rt, _, u := quasarFixture(t, 127)
 	var fillers []*Task
 	for i := 0; i < 40; i++ {

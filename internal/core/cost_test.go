@@ -10,6 +10,9 @@ import (
 // cheaper (smaller or lower-end) allocation than the same workload without
 // one — the §4.4 cost-target extension.
 func TestCostCapLimitsAllocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cost-cap scenario runs ~3s under -race")
+	}
 	run := func(cap float64) (cores int, plats map[string]bool) {
 		rt, _, u := quasarFixture(t, 311)
 		w := u.New(workload.Spec{Type: workload.Hadoop, Family: 0, MaxNodes: 4, TargetSlack: 1.0,

@@ -68,6 +68,9 @@ func TestQuasarServiceMeetsQoS(t *testing.T) {
 }
 
 func TestQuasarTracksLoadGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load-growth scenario runs ~3s under -race")
+	}
 	rt, _, u := quasarFixture(t, 47)
 	w := u.New(workload.Spec{Type: workload.Webserver, Family: -1, MaxNodes: 8})
 	pattern := loadgen.Fluctuating{Min: 0.2 * w.Target.QPS, Max: w.Target.QPS, Period: 3600}
@@ -85,6 +88,9 @@ func TestQuasarTracksLoadGrowth(t *testing.T) {
 }
 
 func TestQuasarReclaimsIdleResources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reclaim scenario runs ~3s under -race")
+	}
 	rt, _, u := quasarFixture(t, 53)
 	w := u.New(workload.Spec{Type: workload.Webserver, Family: -1, MaxNodes: 8})
 	// Very low constant load after targets were set high.
@@ -127,6 +133,9 @@ func TestQuasarBestEffortPlacedAndEvictable(t *testing.T) {
 }
 
 func TestQuasarAdmissionQueue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("admission scenario runs ~17s under -race")
+	}
 	rt, q, u := quasarFixture(t, 61)
 	// Saturate the cluster with long services pinned at high load.
 	var tasks []*Task
@@ -159,6 +168,9 @@ func TestQuasarAdmissionQueue(t *testing.T) {
 }
 
 func TestQuasarSingleNodeIPS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("single-node sweep runs ~4s under -race")
+	}
 	rt, _, u := quasarFixture(t, 67)
 	w := u.New(workload.Spec{Type: workload.SingleNode, Family: -1, TargetSlack: 1.5})
 	w.Genome.Work = 5000

@@ -1,0 +1,24 @@
+package experiments
+
+import "time"
+
+// Clock abstracts wall-time readings for the few experiments that
+// measure real classification overhead (Fig. 3's decision-time columns).
+// Injecting a fake clock makes those experiments reproducible in tests;
+// everything else in this package runs on the sim engine's virtual time
+// and never reads the wall clock.
+type Clock func() time.Time
+
+// wallClock is the experiments package's single sanctioned wall-clock
+// reader. It is allowlisted by quasar-lint's determinism analyzer: the
+// overhead measurements it feeds report real elapsed time by design and
+// are excluded from the byte-identical-results determinism contract.
+func wallClock() time.Time { return time.Now() }
+
+// clockOrWall returns c, or the wall clock when c is nil.
+func clockOrWall(c Clock) Clock {
+	if c == nil {
+		return wallClock
+	}
+	return c
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a Clock that advances a fixed step per reading, so
+// wall-clock-derived fields become pure functions of the call sequence.
+func fakeClock() Clock {
+	now := time.Unix(0, 0)
+	return func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}
+}
+
+// TestStragglersDeterministic runs the straggler-detection scenario twice
+// with the same seed and requires byte-identical serialized results.
+func TestStragglersDeterministic(t *testing.T) {
+	const seed = 11
+	marshal := func() []byte {
+		out, err := json.Marshal(Stragglers(3, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first, second := marshal(), marshal()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed produced different results:\n%.300s\nvs\n%.300s", first, second)
+	}
+}
+
+// TestFig3DeterministicWithInjectedClock pins the full Figure 3 pipeline
+// — classification, validation, and the decision-time comparison — under
+// an injected clock: identical seeds must serialize identically, byte for
+// byte.
+func TestFig3DeterministicWithInjectedClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the density sweep twice")
+	}
+	run := func() []byte {
+		cfg := DefaultFig3Config()
+		cfg.EntriesGrid = []int{1, 4}
+		cfg.PerClass = 2
+		cfg.SeedLibPerType = 2
+		cfg.Clock = fakeClock()
+		out, err := json.Marshal(Fig3(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed and clock produced different results:\n%.300s\nvs\n%.300s", first, second)
+	}
+}

@@ -69,6 +69,9 @@ func TestTable1Complete(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classification sweep runs ~20s under -race")
+	}
 	cfg := DefaultTable2Config()
 	cfg.Hadoop, cfg.Memcached, cfg.Webserver, cfg.SingleNode = 3, 3, 3, 12
 	r := Table2(cfg)
@@ -124,6 +127,9 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hadoop-job scenarios run ~17s under -race")
+	}
 	cfg := DefaultFig5Config()
 	cfg.Jobs = 3
 	r, err := Fig5(cfg)
@@ -146,6 +152,9 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("low-utilization scenario runs ~8s under -race")
+	}
 	cfg := DefaultFig6Config()
 	cfg.Hadoop, cfg.Storm, cfg.Spark, cfg.BestEffort = 3, 1, 1, 30
 	cfg.HorizonSecs = 9000
@@ -170,6 +179,9 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service scenarios run ~7s under -race")
+	}
 	cfg := DefaultFig8Config()
 	cfg.HorizonSecs = 6000
 	cfg.BestEffort = 60
@@ -267,6 +279,9 @@ func TestStragglersShape(t *testing.T) {
 }
 
 func TestPhasesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phase-change scenario runs ~40s under -race")
+	}
 	r, err := Phases(10, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -283,6 +298,9 @@ func TestPhasesShape(t *testing.T) {
 }
 
 func TestOverheadsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead sweep runs ~9s under -race")
+	}
 	r, err := Overheads(6, 3)
 	if err != nil {
 		t.Fatal(err)

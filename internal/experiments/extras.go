@@ -324,7 +324,7 @@ func runAblation(seed int64, mod func(*core.QuasarOptions)) (float64, error) {
 	sum, n := 0.0, 0
 	for _, t := range tasks {
 		v := PerfNormalizedToTarget(s.RT, t)
-		if v != v {
+		if math.IsNaN(v) {
 			continue
 		}
 		if v > 1 {

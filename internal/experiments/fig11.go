@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"io"
+	"math"
 
 	"quasar/internal/cluster"
 	"quasar/internal/core"
@@ -140,7 +141,7 @@ func fig11Run(kind ManagerKind, cfg Fig11Config) (*Fig11Run, error) {
 	tracker := metrics.NewTargetTracker()
 	for _, t := range tasks {
 		v := PerfNormalizedToTarget(s.RT, t)
-		if v != v { // NaN: best-effort (none here)
+		if math.IsNaN(v) { // best-effort (none here)
 			continue
 		}
 		tracker.Record(t.W.ID, v)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"io"
-	"time"
 
 	"quasar/internal/classify"
 	"quasar/internal/sim"
@@ -15,6 +14,10 @@ type Fig3Config struct {
 	PerClass       int   // test workloads per app class per density point
 	SeedLibPerType int
 	Seed           int64
+	// Clock supplies the timestamps behind the overhead and decision-time
+	// measurements. Nil means the wall clock; tests inject a fake clock
+	// to keep the experiment fully deterministic.
+	Clock Clock
 }
 
 // DefaultFig3Config matches the figure: density from one entry per row up
@@ -52,6 +55,7 @@ type Fig3Result struct {
 // Fig3 runs the sweep.
 func Fig3(cfg Fig3Config) *Fig3Result {
 	platforms := clusterPlatformsLocal()
+	clock := clockOrWall(cfg.Clock)
 	res := &Fig3Result{}
 	classes := []struct {
 		name string
@@ -77,7 +81,7 @@ func Fig3(cfg Fig3Config) *Fig3Result {
 		}
 		for _, cls := range classes {
 			var su, so, het, interf []float64
-			start := time.Now()
+			start := clock()
 			for i := 0; i < cfg.PerClass; i++ {
 				w := u.New(workload.Spec{Type: cls.tp, Family: -1, MaxNodes: 4})
 				_, errs := classify.Validate(eng, w)
@@ -86,7 +90,7 @@ func Fig3(cfg Fig3Config) *Fig3Result {
 				het = append(het, errs.Hetero...)
 				interf = append(interf, errs.Interf...)
 			}
-			elapsed := time.Since(start).Seconds() / float64(cfg.PerClass)
+			elapsed := clock().Sub(start).Seconds() / float64(cfg.PerClass)
 			pt := Fig3Point{
 				Entries:    entries,
 				AppClass:   cls.name,
@@ -127,20 +131,20 @@ func Fig3(cfg Fig3Config) *Fig3Result {
 	// more columns, which is exactly what its decision-time penalty
 	// measures.
 	n := 2
-	start := time.Now()
+	start := clock()
 	for i := 0; i < n; i++ {
 		w := u.New(workload.Spec{Type: workload.Hadoop, Family: -1, MaxNodes: 4})
 		eng.Classify(w, classify.NewGroundTruthProber(w, platforms, rng.Stream("4p/"+w.ID)))
 		eng.RetrainAll()
 	}
-	res.FourParallelDecisionSecs = time.Since(start).Seconds() / float64(n)
-	start = time.Now()
+	res.FourParallelDecisionSecs = clock().Sub(start).Seconds() / float64(n)
+	start = clock()
 	for i := 0; i < n; i++ {
 		w := u.New(workload.Spec{Type: workload.Hadoop, Family: -1, MaxNodes: 4})
 		exh.Classify(w, classify.NewGroundTruthProber(w, platforms, rng.Stream("ex/"+w.ID)), 8)
 		exh.Retrain()
 	}
-	res.ExhaustiveDecisionSecs = time.Since(start).Seconds() / float64(n)
+	res.ExhaustiveDecisionSecs = clock().Sub(start).Seconds() / float64(n)
 	return res
 }
 

@@ -1,0 +1,35 @@
+// Package floats holds the epsilon comparisons that quasar-lint's
+// floatcmp analyzer points code at: exact ==/!= between floating-point
+// values is flagged, and callers compare through these helpers instead.
+package floats
+
+import "math"
+
+// DefaultTol is the relative tolerance used by Close: loose enough to
+// absorb accumulated rounding across a simulation run, tight enough to
+// distinguish genuinely different measurements.
+const DefaultTol = 1e-9
+
+// AlmostEqual reports whether a and b are equal within tol, measured
+// relative to the larger magnitude (and absolutely for values near zero).
+// NaN compares unequal to everything, matching IEEE semantics; equal
+// infinities compare equal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //lint:allow(floatcmp) fast path and infinity handling need exact equality
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		// Unequal infinities (or an infinity against a finite value)
+		// are never approximately equal.
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+// Close reports AlmostEqual at DefaultTol.
+func Close(a, b float64) bool { return AlmostEqual(a, b, DefaultTol) }

@@ -1,0 +1,40 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative scaling
+		{0, 1e-12, 1e-9, true},                 // absolute near zero
+		{0, 1e-6, 1e-9, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 1, 1e-9, false},
+		{math.Inf(1), 1e300, 1e-9, false},
+		{-1, 1, 2, true}, // generous tolerance: |a-b| = 2 = tol*scale
+	}
+	for _, tc := range cases {
+		if got := AlmostEqual(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	if !Close(0.1+0.2, 0.3) {
+		t.Error("Close must absorb classic binary rounding")
+	}
+	if Close(1, 1.001) {
+		t.Error("Close must distinguish genuinely different values")
+	}
+}

@@ -181,14 +181,14 @@ func (s *Scheduler) rank(req *Request) []candidate {
 		})
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].quality != cands[j].quality {
+		if cands[i].quality != cands[j].quality { //lint:allow(floatcmp) sort tie-break: any consistent order is fine
 			return cands[i].quality > cands[j].quality
 		}
 		// Tie-break toward bigger machines (fewer nodes for the same
 		// estimated quality), then by ID for determinism.
 		ci := float64(cands[i].server.Platform.Cores) * cands[i].server.Platform.CorePerf
 		cj := float64(cands[j].server.Platform.Cores) * cands[j].server.Platform.CorePerf
-		if ci != cj {
+		if ci != cj { //lint:allow(floatcmp) sort tie-break: any consistent order is fine
 			return ci > cj
 		}
 		return cands[i].server.ID < cands[j].server.ID

@@ -28,7 +28,9 @@ type eventHeap []*event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
+	// Exact comparison is load-bearing: events at bit-identical times
+	// must fall through to the seq tie-break for deterministic ordering.
+	if h[i].at != h[j].at { //lint:allow(floatcmp)
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
