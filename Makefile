@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench fmt-check ci
+.PHONY: all build test race lint bench bench-parallel fmt-check ci
 
 all: build
 
@@ -26,6 +26,10 @@ lint: fmt-check
 ## bench: run the repository benchmarks
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+## bench-parallel: time sequential vs parallel fan-out, refresh BENCH_parallel.json
+bench-parallel:
+	$(GO) run ./cmd/quasar-bench -parbench-out BENCH_parallel.json parbench
 
 ## fmt-check: fail if any file needs gofmt
 fmt-check:

@@ -5,6 +5,10 @@
 //	quasar-bench fig1 fig2 table1 table2 fig3 fig5 table3 fig6 fig7 \
 //	             fig8 fig9 fig10 fig11 stragglers phases overheads ablations
 //
+// The "parbench" artifact (not part of the default suite) times the
+// classification sweeps sequentially vs on the worker pool and writes the
+// comparison to -parbench-out (default BENCH_parallel.json).
+//
 // The -quick flag shrinks every scenario (fewer workloads, shorter
 // horizons) for a fast smoke pass.
 package main
@@ -16,12 +20,16 @@ import (
 	"time"
 
 	"quasar/internal/experiments"
+	"quasar/internal/par"
 	"quasar/internal/trace"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink scenarios for a fast pass")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel fan-outs (0 = GOMAXPROCS); never changes results")
+	parbenchOut := flag.String("parbench-out", "BENCH_parallel.json", "output path for the parbench artifact")
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 
 	artifacts := flag.Args()
 	if len(artifacts) == 0 {
@@ -145,6 +153,17 @@ func main() {
 			res, err := experiments.Ablations(5)
 			die(err)
 			res.Print(os.Stdout)
+		case "parbench":
+			cfg := experiments.DefaultParBenchConfig()
+			cfg.Workers = *workers
+			if *quick {
+				cfg.Table2.Hadoop, cfg.Table2.Memcached, cfg.Table2.Webserver, cfg.Table2.SingleNode = 3, 3, 3, 12
+				cfg.Fig3.EntriesGrid = []int{1, 4}
+				cfg.Fig3.PerClass = 2
+			}
+			res := experiments.ParBench(cfg)
+			res.Print(os.Stdout)
+			die(res.WriteJSON(*parbenchOut))
 		default:
 			_, _ = fmt.Fprintf(os.Stderr, "unknown artifact %q\n", name)
 			os.Exit(2)

@@ -17,6 +17,7 @@ import (
 	"quasar/internal/core"
 	"quasar/internal/experiments"
 	"quasar/internal/loadgen"
+	"quasar/internal/par"
 	"quasar/internal/perfmodel"
 	"quasar/internal/workload"
 )
@@ -33,9 +34,11 @@ func main() {
 		bestEffort  = flag.Int("besteffort", 40, "best-effort fillers")
 		horizon     = flag.Float64("horizon", 20000, "simulated seconds to run")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
+		workers     = flag.Int("workers", 0, "worker goroutines for parallel fan-outs (0 = GOMAXPROCS); never changes results")
 		verbose     = flag.Bool("v", false, "per-workload detail")
 	)
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 
 	kind := map[string]experiments.ManagerKind{
 		"quasar":              experiments.KindQuasar,

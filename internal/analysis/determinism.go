@@ -7,7 +7,7 @@ import (
 )
 
 // Determinism enforces the seeded-simulation contract: identical seeds
-// must produce identical results. It flags three nondeterminism sources
+// must produce identical results. It flags four nondeterminism sources
 // in the simulation, classification, scheduling, and experiment packages:
 //
 //  1. draws from math/rand's unseeded global source (use a seeded
@@ -16,17 +16,26 @@ import (
 //     must use the engine's virtual clock or an injected clock);
 //  3. iteration over a map that appends to a slice declared outside the
 //     loop without a subsequent deterministic sort — the slice's order
-//     then depends on Go's randomized map iteration.
+//     then depends on Go's randomized map iteration;
+//  4. method calls on a shared RNG (*sim.RNG or *math/rand.Rand) captured
+//     inside a concurrent function literal — a `go` statement or a task
+//     passed to par.ParFor/ParMap/ParMapErr. Concurrent draws interleave
+//     by schedule, so results change run to run; derive per-task
+//     substreams (RNG.Substreams) before the fan-out instead. Receivers
+//     selected through an index expression (subs[i].Float64()) are the
+//     sanctioned per-task pattern and are not flagged.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc: "flags unseeded global math/rand draws, bare time.Now(), and " +
-		"unsorted result accumulation across map iteration in simulation code",
+	Doc: "flags unseeded global math/rand draws, bare time.Now(), " +
+		"unsorted result accumulation across map iteration, and shared-RNG " +
+		"capture in concurrent tasks in simulation code",
 	Scope: []string{
 		"internal/sim",
 		"internal/experiments",
 		"internal/classify",
 		"internal/sched",
 		"internal/core",
+		"internal/par",
 	},
 	Run: runDeterminism,
 }
@@ -65,6 +74,12 @@ func runDeterminism(pass *Pass) {
 	}
 }
 
+// parFanoutFuncs are the internal/par entry points whose function-literal
+// arguments run concurrently on the worker pool.
+var parFanoutFuncs = map[string]bool{
+	"ParFor": true, "ParMap": true, "ParMapErr": true,
+}
+
 func checkFuncDeterminism(pass *Pass, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -78,12 +93,102 @@ func checkFuncDeterminism(pass *Pass, fd *ast.FuncDecl) {
 					pass.Reportf(n.Pos(),
 						"bare time.Now() is nondeterministic under fixed seeds; use the sim engine's virtual clock or an injected clock")
 				}
+				if strings.HasSuffix(pkgPath, "internal/par") && parFanoutFuncs[name] {
+					for _, arg := range n.Args {
+						if fl, ok := arg.(*ast.FuncLit); ok {
+							checkSharedRNG(pass, fl, "par."+name+" task")
+						}
+					}
+				}
+			}
+		case *ast.GoStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkSharedRNG(pass, fl, "goroutine")
 			}
 		case *ast.RangeStmt:
 			checkMapRange(pass, fd, n)
 		}
 		return true
 	})
+}
+
+// checkSharedRNG flags method calls inside a concurrent function literal
+// whose receiver is an RNG captured from the enclosing scope. Concurrent
+// draws from one generator interleave by goroutine schedule, breaking the
+// identical-seeds-identical-results contract (and racing, for sim.RNG).
+// Receivers reached through an index expression — subs[i].Float64() on a
+// pre-derived substream slice — are the sanctioned per-task pattern and
+// pass. RNGs declared inside the literal are task-local and also pass.
+func checkSharedRNG(pass *Pass, fl *ast.FuncLit, context string) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[sel.X]
+		if !ok || !isRNGType(tv.Type) {
+			return true
+		}
+		root := capturedRoot(pass, sel.X, fl)
+		if root == nil {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"RNG %s is shared across concurrent tasks in this %s: draws interleave by schedule; derive per-task substreams (RNG.Substreams) before the fan-out",
+			root.Name(), context)
+		return true
+	})
+}
+
+// isRNGType reports whether t is (a pointer to) a random-number generator:
+// sim.RNG or math/rand's Rand.
+func isRNGType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case strings.HasSuffix(path, "internal/sim") && name == "RNG":
+		return true
+	case (path == "math/rand" || path == "math/rand/v2") && name == "Rand":
+		return true
+	}
+	return false
+}
+
+// capturedRoot walks a receiver expression (ident, selector chain, parens)
+// down to its root identifier and returns that identifier's object when it
+// is declared outside the function literal — i.e. captured. An index
+// expression anywhere in the chain, or a root declared inside the literal,
+// returns nil.
+func capturedRoot(pass *Pass, expr ast.Expr, fl *ast.FuncLit) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := pass.Pkg.Info.Uses[e]
+			if obj == nil || obj.Pos() == 0 { // builtin or unresolved
+				return nil
+			}
+			if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+				return nil // declared inside the literal: task-local
+			}
+			return obj
+		default: // IndexExpr, CallExpr, ...: per-task selection or fresh value
+			return nil
+		}
+	}
 }
 
 // pkgFuncCall resolves a call of the form pkg.Func where pkg is an

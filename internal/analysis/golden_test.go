@@ -20,6 +20,8 @@ var goldenCases = []struct {
 }{
 	{Determinism, "determinism_bad", true},
 	{Determinism, "determinism_clean", false},
+	{Determinism, "determinism_par_bad", true},
+	{Determinism, "determinism_par_clean", false},
 	{FloatCmp, "floatcmp_bad", true},
 	{FloatCmp, "floatcmp_clean", false},
 	{SnapshotDrift, "snapshotdrift_bad", true},

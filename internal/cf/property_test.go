@@ -1,0 +1,120 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDense fills an m×n matrix with values in [-scale, scale].
+func uniformDense(rng *rand.Rand, m, n int, scale float64) *Dense {
+	d := NewDense(m, n)
+	for i := range d.Data {
+		d.Data[i] = scale * (2*rng.Float64() - 1)
+	}
+	return d
+}
+
+// TestSVDReconstructionBound: the full (untruncated) SVD of random matrices
+// must reproduce the input to numerical tolerance, across shapes (tall,
+// wide, square) and seeds.
+func TestSVDReconstructionBound(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	shapes := []struct{ m, n int }{{12, 5}, {5, 12}, {9, 9}, {30, 8}, {1, 6}, {6, 1}}
+	for _, sh := range shapes {
+		for trial := 0; trial < 4; trial++ {
+			a := uniformDense(rng, sh.m, sh.n, 10)
+			d := ComputeSVD(a)
+			if err := maxAbsDiff(a, d.Reconstruct()); err > 1e-8 {
+				t.Fatalf("%dx%d trial %d: reconstruction error %g", sh.m, sh.n, trial, err)
+			}
+			for k, s := range d.S {
+				if s < 0 {
+					t.Fatalf("%dx%d: negative singular value S[%d]=%g", sh.m, sh.n, k, s)
+				}
+				if k > 0 && s > d.S[k-1]+1e-12 {
+					t.Fatalf("%dx%d: singular values not sorted: S[%d]=%g > S[%d]=%g",
+						sh.m, sh.n, k, s, k-1, d.S[k-1])
+				}
+			}
+		}
+	}
+}
+
+// columnDots returns the worst off-diagonal |u_i · u_j| and the worst
+// deviation of |u_i| from 1 over the columns of a factor matrix.
+func columnDots(u *Dense) (offDiag, normErr float64) {
+	for i := 0; i < u.C; i++ {
+		ni := 0.0
+		for r := 0; r < u.R; r++ {
+			ni += u.At(r, i) * u.At(r, i)
+		}
+		if d := math.Abs(math.Sqrt(ni) - 1); d > normErr {
+			normErr = d
+		}
+		for j := i + 1; j < u.C; j++ {
+			dot := 0.0
+			for r := 0; r < u.R; r++ {
+				dot += u.At(r, i) * u.At(r, j)
+			}
+			if d := math.Abs(dot); d > offDiag {
+				offDiag = d
+			}
+		}
+	}
+	return offDiag, normErr
+}
+
+// TestSVDFactorOrthogonality: U and V columns associated with non-negligible
+// singular values must be orthonormal on random matrices.
+func TestSVDFactorOrthogonality(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		a := uniformDense(rng, 14, 7, 5)
+		d := ComputeSVD(a)
+		// Random dense matrices are full-rank with probability 1, so every
+		// singular column participates.
+		if r := d.Rank(1e-9); r != 7 {
+			t.Fatalf("trial %d: random 14x7 matrix rank %d", trial, r)
+		}
+		for name, f := range map[string]*Dense{"U": d.U, "V": d.V} {
+			off, norm := columnDots(f)
+			if off > 1e-8 || norm > 1e-8 {
+				t.Fatalf("trial %d: %s not orthonormal: offdiag %g, norm err %g", trial, name, off, norm)
+			}
+		}
+	}
+}
+
+// TestSVDTruncationError: truncating to k factors must leave a residual no
+// larger than the discarded singular mass, and error must shrink as k grows.
+func TestSVDTruncationError(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	a := uniformDense(rng, 16, 10, 3)
+	d := ComputeSVD(a)
+	prev := math.Inf(1)
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		rec := d.Truncate(k).Reconstruct()
+		frob := 0.0
+		for i := range a.Data {
+			diff := a.Data[i] - rec.Data[i]
+			frob += diff * diff
+		}
+		frob = math.Sqrt(frob)
+		discarded := 0.0
+		for _, s := range d.S[k:] {
+			discarded += s * s
+		}
+		bound := math.Sqrt(discarded)
+		if frob > bound+1e-8 {
+			t.Fatalf("k=%d: residual %g exceeds discarded singular mass %g", k, frob, bound)
+		}
+		if frob > prev+1e-8 {
+			t.Fatalf("k=%d: residual %g grew from %g", k, frob, prev)
+		}
+		prev = frob
+	}
+}

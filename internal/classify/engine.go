@@ -6,6 +6,7 @@ import (
 
 	"quasar/internal/cf"
 	"quasar/internal/cluster"
+	"quasar/internal/par"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
 )
@@ -51,6 +52,11 @@ type Options struct {
 	// RetrainEvery triggers a full model retrain after this many appended
 	// rows per axis.
 	RetrainEvery int
+	// Workers bounds the goroutines used for the per-axis fan-out (the
+	// paper's four parallel classifications). Zero means the process
+	// default (par.Resolve). The count never changes results — each axis
+	// is confined to one task and merged by axis index.
+	Workers int
 }
 
 // DefaultOptions returns the paper's settings.
@@ -130,6 +136,29 @@ func (a *axis) estimateRow(rowIdx int, obs map[int]float64) []float64 {
 	return row
 }
 
+// estimateRowFrozen is estimateRow for detached classification: strictly
+// read-only (no lazy training, no history merge), so concurrent calls
+// against the same axis are safe. With no model yet (empty library) the
+// observations themselves are the best available row.
+func (a *axis) estimateRowFrozen(obs map[int]float64) []float64 {
+	if a.model == nil {
+		row := make([]float64, a.mat.Cols)
+		for j, v := range obs {
+			if j >= 0 && j < len(row) {
+				row[j] = v
+			}
+		}
+		return row
+	}
+	row := a.model.FoldIn(obs)
+	for j, v := range obs {
+		if j >= 0 && j < len(row) {
+			row[j] = v
+		}
+	}
+	return row
+}
+
 func (a *axis) feedback(row, col int, v float64) {
 	if row < 0 || row >= a.mat.Rows {
 		return
@@ -150,10 +179,11 @@ type Engine struct {
 	SUCols    []ScaleUpCol
 	SOCounts  []int
 
-	opts  Options
-	axes  [numAxes]*axis
-	rowOf map[string]int
-	rng   *sim.RNG
+	opts    Options
+	workers int
+	axes    [numAxes]*axis
+	rowOf   map[string]int
+	rng     *sim.RNG
 }
 
 // NewEngine builds an engine for the platform set.
@@ -177,6 +207,7 @@ func NewEngine(platforms []cluster.Platform, opts Options, rng *sim.RNG) *Engine
 		SUCols:    ScaleUpColumns(&platforms[he]),
 		SOCounts:  ScaleOutCounts(opts.MaxNodes),
 		opts:      opts,
+		workers:   opts.Workers,
 		rowOf:     make(map[string]int),
 		rng:       rng,
 	}
@@ -191,11 +222,24 @@ func NewEngine(platforms []cluster.Platform, opts Options, rng *sim.RNG) *Engine
 // RetrainAll retrains every axis model from its matrix. This is the cost a
 // from-scratch reconstruction pays at an arrival (the paper's SVD +
 // PQ-reconstruction per submission); the engine otherwise amortizes it via
-// fold-in plus periodic retraining.
+// fold-in plus periodic retraining. The five retrains run on the axis fan-out
+// pool; each touches only its own axis, so results match the sequential loop.
 func (e *Engine) RetrainAll() {
-	for _, a := range e.axes {
-		a.train()
-	}
+	par.ParFor(e.workers, int(numAxes), func(i int) {
+		e.axes[i].train()
+	})
+}
+
+// EnsureTrained trains any axis that has rows but no model yet. Callers must
+// invoke it before a detached (concurrent, read-only) classification pass so
+// the fan-out folds in against frozen models instead of racing to train.
+func (e *Engine) EnsureTrained() {
+	par.ParFor(e.workers, int(numAxes), func(i int) {
+		a := e.axes[i]
+		if a.model == nil && a.mat.Rows > 0 {
+			a.train()
+		}
+	})
 }
 
 // Rows returns the number of workloads in the matrices.
@@ -246,10 +290,40 @@ func (e *Engine) secondaryPlatform() int {
 	return best
 }
 
+// ProbeObs holds the sparse observations one profiling pass produced — one
+// map per axis — plus the absolute performance anchor of the reference run.
+// It is the unit that moves between the probe stage (prober- and
+// workload-confined, may run concurrently across workloads) and the append
+// stage (matrix mutation, always applied in input order).
+type ProbeObs struct {
+	RefPerf float64
+	obs     [numAxes]map[int]float64
+}
+
 // SeedOffline adds a densely profiled workload to every matrix — the
 // paper's offline-characterized library ("a small number of different
 // workload types (20-30)" profiled exhaustively, §3.2).
 func (e *Engine) SeedOffline(w *workload.Instance, p Prober) {
+	e.appendObs(w.ID, e.probeSeed(w, p))
+}
+
+// SeedOfflineMany seeds ws[i] with probers[i] concurrently. The dense probe
+// stage fans out (each task touches only its own workload and prober); the
+// appends then land sequentially in input order, so the matrices are
+// byte-identical to seeding the workloads one at a time.
+func (e *Engine) SeedOfflineMany(ws []*workload.Instance, probers []Prober) {
+	all := par.ParMap(e.workers, len(ws), func(i int) *ProbeObs {
+		return e.probeSeed(ws[i], probers[i])
+	})
+	for i, po := range all {
+		e.appendObs(ws[i].ID, po)
+	}
+}
+
+// probeSeed runs the dense offline characterization. It only reads engine
+// state (column grids, platforms) and draws nothing from the engine RNG, so
+// it is safe to run concurrently across workloads.
+func (e *Engine) probeSeed(w *workload.Instance, p Prober) *ProbeObs {
 	ref := p.ScaleUp(e.refAlloc())
 	su := make(map[int]float64, len(e.SUCols))
 	for j, col := range e.SUCols {
@@ -277,15 +351,24 @@ func (e *Engine) SeedOffline(w *workload.Instance, p Prober) {
 		tol[r] = clamp01(p.ToleratedIntensity(cluster.Resource(r)))
 		caused[r] = clamp01(p.CausedIntensity(cluster.Resource(r)))
 	}
-	e.appendAll(w.ID, su, so, het, tol, caused)
+	po := &ProbeObs{RefPerf: ref}
+	po.obs[AxisScaleUp] = su
+	po.obs[AxisScaleOut] = so
+	po.obs[AxisHetero] = het
+	po.obs[AxisTolerated] = tol
+	po.obs[AxisCaused] = caused
+	return po
 }
 
-func (e *Engine) appendAll(id string, su, so, het, tol, caused map[int]float64) int {
-	row := e.axes[AxisScaleUp].appendRow(su)
-	e.axes[AxisScaleOut].appendRow(so)
-	e.axes[AxisHetero].appendRow(het)
-	e.axes[AxisTolerated].appendRow(tol)
-	e.axes[AxisCaused].appendRow(caused)
+// appendObs appends one workload's observations to all five matrices, each
+// axis on its own task (the paper's parallel classifications). Per-axis
+// training state is confined to its task, so the matrices and models come
+// out identical to a sequential append.
+func (e *Engine) appendObs(id string, po *ProbeObs) int {
+	par.ParFor(e.workers, int(numAxes), func(i int) {
+		e.axes[i].appendRow(po.obs[i])
+	})
+	row := e.axes[AxisScaleUp].mat.Rows - 1
 	e.rowOf[id] = row
 	return row
 }
@@ -303,7 +386,40 @@ func (e *Engine) profilingAlloc() cluster.Alloc {
 // full rows by fold-in. The workload is appended to the matrices so later
 // arrivals benefit from it.
 func (e *Engine) Classify(w *workload.Instance, p Prober) *Estimates {
-	rng := e.rng.Stream("classify/" + w.ID)
+	po := e.probeArrival(w, p, e.rng.Stream("classify/"+w.ID))
+	row := e.appendObs(w.ID, po)
+	return e.estimatesFromProbe(w, row, po)
+}
+
+// ClassifyDetached classifies w against the engine's frozen models without
+// touching engine state: probes come through the supplied RNG (derive it
+// from the engine stream in input order before fanning out), and the row
+// estimate folds in against the current models. It is the concurrent half of
+// a batch classification — call EnsureTrained first, run ClassifyDetached
+// across workloads on the pool, then Append each returned ProbeObs in input
+// order so the matrices grow exactly as a sequential pass would.
+//
+// Detached estimates differ from Classify's in one way: they do not see the
+// other workloads of the same batch (fold-in is against the models as of the
+// batch start), matching the paper's view of independent per-arrival
+// classification.
+func (e *Engine) ClassifyDetached(w *workload.Instance, p Prober, rng *sim.RNG) (*Estimates, *ProbeObs) {
+	po := e.probeArrival(w, p, rng)
+	return e.estimatesFromProbe(w, -1, po), po
+}
+
+// Append adds a detached arrival's observations to the matrices and returns
+// its row. It mutates axis state and must be called sequentially, in input
+// order, after the detached fan-out has completed.
+func (e *Engine) Append(id string, po *ProbeObs) int {
+	return e.appendObs(id, po)
+}
+
+// probeArrival runs the sparse online profiling for one arrival. It reads
+// engine state but never writes it, draws only from the supplied rng, and
+// confines workload mutation to the prober — the properties that let a
+// detached batch run many probeArrivals concurrently.
+func (e *Engine) probeArrival(w *workload.Instance, p Prober, rng *sim.RNG) *ProbeObs {
 	entries := e.opts.Entries
 
 	// Reference run: the whole profiling node. It anchors the absolute
@@ -393,32 +509,47 @@ func (e *Engine) Classify(w *workload.Instance, p Prober) *Estimates {
 		caused[r] = clamp01(p.CausedIntensity(cluster.Resource(r)))
 	}
 
-	row := e.appendAll(w.ID, su, so, het, tol, caused)
-	return e.estimatesFromObs(w, row, refPerf, su, so, het, tol, caused)
+	po := &ProbeObs{RefPerf: refPerf}
+	po.obs[AxisScaleUp] = su
+	po.obs[AxisScaleOut] = so
+	po.obs[AxisHetero] = het
+	po.obs[AxisTolerated] = tol
+	po.obs[AxisCaused] = caused
+	return po
 }
 
-func (e *Engine) estimatesFromObs(w *workload.Instance, row int, refPerf float64, su, so, het, tol, caused map[int]float64) *Estimates {
+// estimatesFromProbe reconstructs full rows from one arrival's observations.
+// The five axis estimates run on the fan-out pool and merge by axis index.
+// row < 0 is the detached mode: no history merge and strictly read-only
+// fold-in against the frozen models.
+func (e *Engine) estimatesFromProbe(w *workload.Instance, row int, po *ProbeObs) *Estimates {
 	es := &Estimates{
 		Engine:  e,
 		ID:      w.ID,
 		Row:     row,
 		Class:   w.Type.Class(),
-		RefPerf: refPerf,
-		SULog:   e.axes[AxisScaleUp].estimateRow(row, su),
-		HetLog:  e.axes[AxisHetero].estimateRow(row, het),
+		RefPerf: po.RefPerf,
 	}
-	if w.Type.Distributed() {
-		es.SOLog = e.axes[AxisScaleOut].estimateRow(row, so)
-	} else {
-		es.SOLog = make([]float64, len(e.SOCounts)) // flat: no scale-out
-	}
-	tolRow := e.axes[AxisTolerated].estimateRow(row, tol)
-	causedRow := e.axes[AxisCaused].estimateRow(row, caused)
+	var rows [numAxes][]float64
+	par.ParFor(e.workers, int(numAxes), func(i int) {
+		if Axis(i) == AxisScaleOut && !w.Type.Distributed() {
+			rows[i] = make([]float64, len(e.SOCounts)) // flat: no scale-out
+			return
+		}
+		if row < 0 {
+			rows[i] = e.axes[i].estimateRowFrozen(po.obs[i])
+			return
+		}
+		rows[i] = e.axes[i].estimateRow(row, po.obs[i])
+	})
+	es.SULog = rows[AxisScaleUp]
+	es.SOLog = rows[AxisScaleOut]
+	es.HetLog = rows[AxisHetero]
 	for r := 0; r < int(cluster.NumResources); r++ {
-		es.Tol[r] = clamp01(tolRow[r])
-		es.Caused[r] = clamp01(causedRow[r])
+		es.Tol[r] = clamp01(rows[AxisTolerated][r])
+		es.Caused[r] = clamp01(rows[AxisCaused][r])
 	}
-	es.deriveBeta(so)
+	es.deriveBeta(po.obs[AxisScaleOut])
 	return es
 }
 
@@ -461,7 +592,13 @@ func (e *Engine) Reclassify(w *workload.Instance, p Prober) *Estimates {
 		caused[r] = clamp01(p.CausedIntensity(cluster.Resource(r)))
 		e.axes[AxisCaused].feedback(row, r, caused[r])
 	}
-	return e.estimatesFromObs(w, row, refPerf, su, so, het, tol, caused)
+	po := &ProbeObs{RefPerf: refPerf}
+	po.obs[AxisScaleUp] = su
+	po.obs[AxisScaleOut] = so
+	po.obs[AxisHetero] = het
+	po.obs[AxisTolerated] = tol
+	po.obs[AxisCaused] = caused
+	return e.estimatesFromProbe(w, row, po)
 }
 
 // Feedback updates one matrix entry with a runtime-observed value (the

@@ -89,7 +89,42 @@ func (x *Exhaustive) Retrain() {
 // Classify profiles the workload at entries random joint columns and
 // reconstructs the full row (log performance per column).
 func (x *Exhaustive) Classify(w *workload.Instance, p JointProber, entries int) []float64 {
-	rng := x.rng.Stream("exhaustive/" + w.ID)
+	obs := x.probe(w, p, entries, x.rng.Stream("exhaustive/"+w.ID))
+	x.append(w.ID, obs)
+	if x.model == nil {
+		x.model = cf.Train(x.mat, x.cfOpts)
+		x.since = 0
+	}
+	return x.foldIn(obs)
+}
+
+// EnsureTrained trains the joint model if rows exist but no model does, so a
+// detached batch folds in against a frozen model instead of racing to train.
+func (x *Exhaustive) EnsureTrained() {
+	if x.model == nil && x.mat.Rows > 0 {
+		x.model = cf.Train(x.mat, x.cfOpts)
+		x.since = 0
+	}
+}
+
+// ClassifyDetached probes and reconstructs without touching classifier
+// state: the caller supplies the per-workload RNG (derived in input order
+// before the fan-out) and later hands the returned observations to Append
+// sequentially. Call EnsureTrained before fanning out.
+func (x *Exhaustive) ClassifyDetached(w *workload.Instance, p JointProber, entries int, rng *sim.RNG) ([]float64, map[int]float64) {
+	obs := x.probe(w, p, entries, rng)
+	return x.foldIn(obs), obs
+}
+
+// Append adds a detached arrival's observations to the matrix; sequential,
+// input order, after the fan-out.
+func (x *Exhaustive) Append(id string, obs map[int]float64) {
+	x.append(id, obs)
+}
+
+// probe samples entries random valid joint columns. Read-only on the
+// classifier; workload mutation is confined to the prober.
+func (x *Exhaustive) probe(w *workload.Instance, p JointProber, entries int, rng *sim.RNG) map[int]float64 {
 	valid := make([]int, 0, len(x.Cols))
 	for j, col := range x.Cols {
 		if col.Nodes > 1 && !w.Type.Distributed() {
@@ -103,10 +138,18 @@ func (x *Exhaustive) Classify(w *workload.Instance, p JointProber, entries int) 
 		col := x.Cols[j]
 		obs[j] = safeLog(p.JointPerf(col.PlatformIdx, col.Nodes, col.Alloc(x.Platforms)))
 	}
-	x.append(w.ID, obs)
+	return obs
+}
+
+// foldIn reconstructs the full row from sparse observations against the
+// current model (read-only; obs as the row when no model exists yet).
+func (x *Exhaustive) foldIn(obs map[int]float64) []float64 {
 	if x.model == nil {
-		x.model = cf.Train(x.mat, x.cfOpts)
-		x.since = 0
+		row := make([]float64, len(x.Cols))
+		for j, v := range obs {
+			row[j] = v
+		}
+		return row
 	}
 	row := x.model.FoldIn(obs)
 	for j, v := range obs {

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"quasar/internal/cluster"
+	"quasar/internal/par"
+	"quasar/internal/sim"
 	"quasar/internal/workload"
 )
 
@@ -78,6 +80,43 @@ func Validate(e *Engine, w *workload.Instance) (*Estimates, ValidationErrors) {
 	return es, CompareToTruth(es, w, truth)
 }
 
+// ValidateMany validates a batch of workloads with the profiling and
+// comparison fanned out across workers. Per-workload RNG substreams are
+// derived from the engine stream sequentially, in the same order the
+// one-at-a-time Validate loop derives them, so the randomness — and with it
+// the whole result — is identical for any worker count. Classification is
+// detached: every workload folds in against the models as of the batch
+// start, then the observations are appended in input order.
+func ValidateMany(e *Engine, ws []*workload.Instance, workers int) ([]*Estimates, []ValidationErrors) {
+	probeRNGs := make([]*sim.RNG, len(ws))
+	classifyRNGs := make([]*sim.RNG, len(ws))
+	for i, w := range ws {
+		probeRNGs[i] = e.rng.Stream("probe/" + w.ID)
+		classifyRNGs[i] = e.rng.Stream("classify/" + w.ID)
+	}
+	e.EnsureTrained()
+	type result struct {
+		es   *Estimates
+		po   *ProbeObs
+		errs ValidationErrors
+	}
+	results := par.ParMap(workers, len(ws), func(i int) result {
+		w := ws[i]
+		noisy := NewGroundTruthProber(w, e.Platforms, probeRNGs[i])
+		es, po := e.ClassifyDetached(w, noisy, classifyRNGs[i])
+		truth := NewGroundTruthProber(w, e.Platforms, nil)
+		return result{es, po, CompareToTruth(es, w, truth)}
+	})
+	ess := make([]*Estimates, len(ws))
+	errs := make([]ValidationErrors, len(ws))
+	for i, r := range results {
+		r.es.Row = e.Append(ws[i].ID, r.po)
+		ess[i] = r.es
+		errs[i] = r.errs
+	}
+	return ess, errs
+}
+
 // CompareToTruth computes per-column errors of estimates against a
 // noise-free prober.
 func CompareToTruth(es *Estimates, w *workload.Instance, truth *GroundTruthProber) ValidationErrors {
@@ -127,6 +166,37 @@ func CompareToTruth(es *Estimates, w *workload.Instance, truth *GroundTruthProbe
 // given noisy prober and compares against noise-free truth.
 func ValidateExhaustiveWith(x *Exhaustive, w *workload.Instance, noisy *GroundTruthProber, entries int) []float64 {
 	row := x.Classify(w, noisy, entries)
+	return compareExhaustive(x, w, row)
+}
+
+// ValidateExhaustiveMany is the batch form: detached joint classification
+// fanned out across workers (per-workload streams derived in input order,
+// fold-in against the frozen model), appends applied sequentially after.
+func ValidateExhaustiveMany(x *Exhaustive, ws []*workload.Instance, noisy []*GroundTruthProber, entries, workers int) [][]float64 {
+	rngs := make([]*sim.RNG, len(ws))
+	for i, w := range ws {
+		rngs[i] = x.rng.Stream("exhaustive/" + w.ID)
+	}
+	x.EnsureTrained()
+	type result struct {
+		errs []float64
+		obs  map[int]float64
+	}
+	results := par.ParMap(workers, len(ws), func(i int) result {
+		row, obs := x.ClassifyDetached(ws[i], noisy[i], entries, rngs[i])
+		return result{compareExhaustive(x, ws[i], row), obs}
+	})
+	errs := make([][]float64, len(ws))
+	for i, r := range results {
+		x.Append(ws[i].ID, r.obs)
+		errs[i] = r.errs
+	}
+	return errs
+}
+
+// compareExhaustive scores a reconstructed joint row against noise-free
+// characterization over every valid, non-negligible column.
+func compareExhaustive(x *Exhaustive, w *workload.Instance, row []float64) []float64 {
 	truth := NewGroundTruthProber(w, x.Platforms, nil)
 	// Reference scale for the negligible-column filter: the biggest
 	// single-node configuration.

@@ -112,12 +112,15 @@ func (q *Quasar) Engine() *classify.Engine { return q.engine }
 func (q *Quasar) Name() string { return "quasar" }
 
 // SeedLibrary adds offline-profiled workloads to the classification engine.
+// Prober streams derive sequentially in library order; the dense profiling
+// then fans out and the appends land in the same order, so the matrices are
+// identical to one-at-a-time seeding.
 func (q *Quasar) SeedLibrary(ws []*workload.Instance) {
+	probers := make([]classify.Prober, len(ws))
 	for i, w := range ws {
-		p := classify.NewGroundTruthProber(w, q.rt.Cl.Platforms, q.rng.Stream("seed").Stream(w.ID))
-		q.engine.SeedOffline(w, p)
-		_ = i
+		probers[i] = classify.NewGroundTruthProber(w, q.rt.Cl.Platforms, q.rng.Stream("seed").Stream(w.ID))
 	}
+	q.engine.SeedOfflineMany(ws, probers)
 }
 
 // profilingDelay returns the simulated wall-clock cost of the sandboxed

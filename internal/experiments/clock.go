@@ -14,11 +14,3 @@ type Clock func() time.Time
 // overhead measurements it feeds report real elapsed time by design and
 // are excluded from the byte-identical-results determinism contract.
 func wallClock() time.Time { return time.Now() }
-
-// clockOrWall returns c, or the wall clock when c is nil.
-func clockOrWall(c Clock) Clock {
-	if c == nil {
-		return wallClock
-	}
-	return c
-}

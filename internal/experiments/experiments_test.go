@@ -14,6 +14,7 @@ import (
 // cmd/quasar-bench and the repository benchmarks.
 
 func TestFig1Shape(t *testing.T) {
+	t.Parallel()
 	cfg := trace.DefaultConfig()
 	cfg.Servers, cfg.Workloads, cfg.Days = 150, 600, 10
 	r := Fig1(cfg)
@@ -29,6 +30,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
+	t.Parallel()
 	r := Fig2(3)
 	// Heterogeneity: J should beat A substantially for Hadoop.
 	if r.HadoopHeterogeneity["J"] < 2*r.HadoopHeterogeneity["A"] {
@@ -57,6 +59,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestTable1Complete(t *testing.T) {
+	t.Parallel()
 	r := Table1()
 	if len(r.Platforms) != 10 || len(r.Patterns) != 9 || len(r.Hadoop) != 3 || len(r.Memcached) != 3 {
 		t.Fatalf("table 1 incomplete: %d platforms, %d patterns", len(r.Platforms), len(r.Patterns))
@@ -72,6 +75,7 @@ func TestTable2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("classification sweep runs ~20s under -race")
 	}
+	t.Parallel()
 	cfg := DefaultTable2Config()
 	cfg.Hadoop, cfg.Memcached, cfg.Webserver, cfg.SingleNode = 3, 3, 3, 12
 	r := Table2(cfg)
@@ -104,6 +108,7 @@ func TestFig3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("density sweep plus decision-time comparison")
 	}
+	t.Parallel()
 	cfg := DefaultFig3Config()
 	cfg.EntriesGrid = []int{1, 2, 8}
 	cfg.PerClass = 3
@@ -130,6 +135,7 @@ func TestFig5Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("hadoop-job scenarios run ~17s under -race")
 	}
+	t.Parallel()
 	cfg := DefaultFig5Config()
 	cfg.Jobs = 3
 	r, err := Fig5(cfg)
@@ -155,6 +161,7 @@ func TestFig6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("low-utilization scenario runs ~8s under -race")
 	}
+	t.Parallel()
 	cfg := DefaultFig6Config()
 	cfg.Hadoop, cfg.Storm, cfg.Spark, cfg.BestEffort = 3, 1, 1, 30
 	cfg.HorizonSecs = 9000
@@ -182,6 +189,7 @@ func TestFig8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("service scenarios run ~7s under -race")
 	}
+	t.Parallel()
 	cfg := DefaultFig8Config()
 	cfg.HorizonSecs = 6000
 	cfg.BestEffort = 60
@@ -207,6 +215,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultFig9Config()
 	cfg.HorizonSecs = 4 * 3600
 	cfg.BestEffort = 100
@@ -234,6 +243,7 @@ func TestFig11Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-minute scenario")
 	}
+	t.Parallel()
 	cfg := DefaultFig11Config()
 	cfg.Workloads = 120
 	cfg.HorizonSecs = 7000
@@ -262,6 +272,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestStragglersShape(t *testing.T) {
+	t.Parallel()
 	r := Stragglers(5, 1)
 	q, h, l := r.Results["quasar"], r.Results["hadoop"], r.Results["late"]
 	if q.MeanDetectionSecs >= h.MeanDetectionSecs {
@@ -282,6 +293,7 @@ func TestPhasesShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("phase-change scenario runs ~40s under -race")
 	}
+	t.Parallel()
 	r, err := Phases(10, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -301,6 +313,7 @@ func TestOverheadsShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("overhead sweep runs ~9s under -race")
 	}
+	t.Parallel()
 	r, err := Overheads(6, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -315,9 +328,11 @@ func TestOverheadsShape(t *testing.T) {
 
 func TestAblationsShape(t *testing.T) {
 	if testing.Short() {
-		t.Skip("five full scenarios")
+		t.Skip("six full scenarios")
 	}
-	r, err := Ablations(5)
+	t.Parallel()
+	// Shrunken scenario: the full 18-job/15000s run is quasar-bench's.
+	r, err := AblationsSized(5, 9, 8000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,6 +357,7 @@ func TestAblationsShape(t *testing.T) {
 }
 
 func TestManagerKindNames(t *testing.T) {
+	t.Parallel()
 	for k := KindQuasar; k <= KindMesosDRF; k++ {
 		if k.String() == "" || strings.HasPrefix(k.String(), "manager(") {
 			t.Fatalf("kind %d unnamed", int(k))
@@ -350,6 +366,7 @@ func TestManagerKindNames(t *testing.T) {
 }
 
 func TestScenarioConstruction(t *testing.T) {
+	t.Parallel()
 	for _, kind := range []ManagerKind{KindQuasar, KindReservationLL, KindReservationParagon, KindFrameworkSelf, KindAutoscale} {
 		s, err := NewScenario(ScenarioConfig{Cluster: Local40, Manager: kind, Seed: 1, SeedLib: 1})
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"quasar/internal/core"
+	"quasar/internal/par"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
 )
@@ -25,15 +26,21 @@ func Stragglers(trials int, seed int64) *StragglerResultSet {
 	if trials <= 0 {
 		trials = 7
 	}
-	agg := map[string]*core.StragglerResult{}
-	for trial := 0; trial < trials; trial++ {
+	// Each trial seeds its own RNG, so trials fan out across workers; the
+	// float accumulation below runs in trial order to keep sums (and thus
+	// serialized output) byte-identical for any worker count.
+	perTrial := par.ParMap(0, trials, func(trial int) []core.StragglerResult {
 		rng := sim.NewRNG(seed + int64(trial))
 		detectors := []core.StragglerDetector{
 			core.NewHadoopDetector(30),
 			core.NewLATEDetector(20),
 			core.NewQuasarDetector(10, rng.Stream("probe")),
 		}
-		for _, res := range core.RunStragglerStudy(40, 0.15, 0.25, detectors, rng.Stream("study")) {
+		return core.RunStragglerStudy(40, 0.15, 0.25, detectors, rng.Stream("study"))
+	})
+	agg := map[string]*core.StragglerResult{}
+	for _, results := range perTrial {
+		for _, res := range results {
 			a, ok := agg[res.Detector]
 			if !ok {
 				a = &core.StragglerResult{Detector: res.Detector}
@@ -261,6 +268,12 @@ type AblationResult struct {
 // Ablations runs a medium multi-workload scenario with scheduler/manager
 // features toggled.
 func Ablations(seed int64) (*AblationResult, error) {
+	return AblationsSized(seed, 18, 15000)
+}
+
+// AblationsSized is Ablations with an explicit job count and horizon, so
+// tests can run a shrunken scenario.
+func AblationsSized(seed int64, jobs int, horizon float64) (*AblationResult, error) {
 	variants := []struct {
 		name string
 		mod  func(*core.QuasarOptions)
@@ -272,18 +285,22 @@ func Ablations(seed int64) (*AblationResult, error) {
 		{"no adaptation", func(o *core.QuasarOptions) { o.DisableAdaptation = true }},
 		{"with partitioning", func(o *core.QuasarOptions) { o.EnablePartitioning = true }},
 	}
+	// Every variant runs its own scenario from the same seed; the six
+	// simulations are independent and fan out across workers.
+	perfs, err := par.ParMapErr(0, len(variants), func(i int) (float64, error) {
+		return runAblation(seed, jobs, horizon, variants[i].mod)
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &AblationResult{}
-	for _, v := range variants {
-		perf, err := runAblation(seed, v.mod)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, AblationRow{Name: v.name, MeanPerf: perf})
+	for i, v := range variants {
+		res.Rows = append(res.Rows, AblationRow{Name: v.name, MeanPerf: perfs[i]})
 	}
 	return res, nil
 }
 
-func runAblation(seed int64, mod func(*core.QuasarOptions)) (float64, error) {
+func runAblation(seed int64, jobs int, horizon float64, mod func(*core.QuasarOptions)) (float64, error) {
 	s, err := NewScenario(ScenarioConfig{
 		Cluster: Local40, Manager: KindQuasar, Seed: seed, MaxNodes: 4, SeedLib: 3,
 	})
@@ -302,7 +319,7 @@ func runAblation(seed int64, mod func(*core.QuasarOptions)) (float64, error) {
 	s.Q, s.Mgr = q, q
 
 	var tasks []*core.Task
-	for i := 0; i < 18; i++ {
+	for i := 0; i < jobs; i++ {
 		var w *workload.Instance
 		var task *core.Task
 		switch i % 3 {
@@ -319,7 +336,7 @@ func runAblation(seed int64, mod func(*core.QuasarOptions)) (float64, error) {
 		}
 		tasks = append(tasks, task)
 	}
-	s.RT.Run(15000)
+	s.RT.Run(horizon)
 	s.RT.Stop()
 	sum, n := 0.0, 0
 	for _, t := range tasks {

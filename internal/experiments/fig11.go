@@ -8,6 +8,7 @@ import (
 	"quasar/internal/core"
 	"quasar/internal/loadgen"
 	"quasar/internal/metrics"
+	"quasar/internal/par"
 	"quasar/internal/perfmodel"
 	"quasar/internal/workload"
 )
@@ -182,17 +183,21 @@ func fig11Run(kind ManagerKind, cfg Fig11Config) (*Fig11Run, error) {
 	return run, nil
 }
 
-// Fig11 runs the comparison.
+// Fig11 runs the comparison. Each manager simulates its own scenario from
+// the same seed, so the three runs are independent and fan out across
+// workers; results land in manager order.
 func Fig11(cfg Fig11Config) (*Fig11Result, error) {
 	if len(cfg.Managers) == 0 {
 		cfg.Managers = DefaultFig11Config().Managers
 	}
+	runs, err := par.ParMapErr(0, len(cfg.Managers), func(i int) (*Fig11Run, error) {
+		return fig11Run(cfg.Managers[i], cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig11Result{}
-	for _, kind := range cfg.Managers {
-		run, err := fig11Run(kind, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for _, run := range runs {
 		res.Runs = append(res.Runs, *run)
 	}
 	return res, nil

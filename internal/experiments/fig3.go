@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"quasar/internal/classify"
+	"quasar/internal/par"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
 )
@@ -14,10 +15,15 @@ type Fig3Config struct {
 	PerClass       int   // test workloads per app class per density point
 	SeedLibPerType int
 	Seed           int64
-	// Clock supplies the timestamps behind the overhead and decision-time
-	// measurements. Nil means the wall clock; tests inject a fake clock
-	// to keep the experiment fully deterministic.
-	Clock Clock
+	// PointClock returns a fresh Clock for each density point (and one more
+	// for the decision-time section). The grid points run concurrently, so
+	// each gets its own clock: a shared stateful fake clock would hand out
+	// timestamps in completion order and break determinism. Nil means every
+	// point reads the wall clock; tests inject a factory of fake clocks.
+	PointClock func() Clock
+	// Workers bounds the grid fan-out; zero means the process default.
+	// Results are identical for any value.
+	Workers int
 }
 
 // DefaultFig3Config matches the figure: density from one entry per row up
@@ -52,10 +58,12 @@ type Fig3Result struct {
 	ExhaustiveDecisionSecs   float64
 }
 
-// Fig3 runs the sweep.
+// Fig3 runs the sweep. The density points are fully independent — each
+// builds its own universe, engine, and noise streams from seeds derived
+// from the entry count — so they fan out across workers; points land in the
+// result in grid order regardless of which finishes first.
 func Fig3(cfg Fig3Config) *Fig3Result {
 	platforms := clusterPlatformsLocal()
-	clock := clockOrWall(cfg.Clock)
 	res := &Fig3Result{}
 	classes := []struct {
 		name string
@@ -65,33 +73,55 @@ func Fig3(cfg Fig3Config) *Fig3Result {
 		{"memcached", workload.Memcached},
 		{"single-node", workload.SingleNode},
 	}
-	for _, entries := range cfg.EntriesGrid {
+	// Clocks are minted sequentially, one per grid point plus one for the
+	// decision-time section, before the fan-out.
+	pointClock := cfg.PointClock
+	if pointClock == nil {
+		pointClock = func() Clock { return wallClock }
+	}
+	clocks := make([]Clock, len(cfg.EntriesGrid))
+	for i := range clocks {
+		clocks[i] = pointClock()
+	}
+	decisionClock := pointClock()
+
+	pointsPer := par.ParMap(cfg.Workers, len(cfg.EntriesGrid), func(gi int) []Fig3Point {
+		entries := cfg.EntriesGrid[gi]
+		clock := clocks[gi]
 		u := workload.NewUniverse(platforms, cfg.Seed, 3)
 		opts := classify.DefaultOptions()
 		opts.MaxNodes = 32
 		opts.Entries = entries
 		eng := classify.NewEngine(platforms, opts, sim.NewRNG(cfg.Seed+int64(entries)))
 		rng := sim.NewRNG(cfg.Seed + 100 + int64(entries))
+		var libWs []*workload.Instance
+		var libPs []classify.Prober
 		for _, tp := range []workload.Type{workload.Hadoop, workload.Memcached,
 			workload.SingleNode, workload.Webserver, workload.Spark} {
 			for i := 0; i < cfg.SeedLibPerType; i++ {
 				w := u.New(workload.Spec{Type: tp, Family: -1, MaxNodes: 4})
-				eng.SeedOffline(w, classify.NewGroundTruthProber(w, platforms, rng.Stream(w.ID)))
+				libWs = append(libWs, w)
+				libPs = append(libPs, classify.NewGroundTruthProber(w, platforms, rng.Stream(w.ID)))
 			}
 		}
+		eng.SeedOfflineMany(libWs, libPs)
+		points := make([]Fig3Point, 0, len(classes))
 		for _, cls := range classes {
+			ws := make([]*workload.Instance, cfg.PerClass)
+			for i := range ws {
+				ws[i] = u.New(workload.Spec{Type: cls.tp, Family: -1, MaxNodes: 4})
+			}
 			var su, so, het, interf []float64
 			start := clock()
-			for i := 0; i < cfg.PerClass; i++ {
-				w := u.New(workload.Spec{Type: cls.tp, Family: -1, MaxNodes: 4})
-				_, errs := classify.Validate(eng, w)
+			_, allErrs := classify.ValidateMany(eng, ws, cfg.Workers)
+			for _, errs := range allErrs {
 				su = append(su, errs.ScaleUp...)
 				so = append(so, errs.ScaleOut...)
 				het = append(het, errs.Hetero...)
 				interf = append(interf, errs.Interf...)
 			}
 			elapsed := clock().Sub(start).Seconds() / float64(cfg.PerClass)
-			pt := Fig3Point{
+			points = append(points, Fig3Point{
 				Entries:    entries,
 				AppClass:   cls.name,
 				DensityPct: 100 * float64(entries) / float64(len(eng.SUCols)),
@@ -102,9 +132,12 @@ func Fig3(cfg Fig3Config) *Fig3Result {
 					"interference": classify.Stats(interf).P90,
 				},
 				OverheadSecs: elapsed,
-			}
-			res.Points = append(res.Points, pt)
+			})
 		}
+		return points
+	})
+	for _, pts := range pointsPer {
+		res.Points = append(res.Points, pts...)
 	}
 
 	// Decision-time comparison at default density: classify the same
@@ -130,6 +163,7 @@ func Fig3(cfg Fig3Config) *Fig3Result {
 	// row estimate. The exhaustive joint space has ~an order of magnitude
 	// more columns, which is exactly what its decision-time penalty
 	// measures.
+	clock := decisionClock
 	n := 2
 	start := clock()
 	for i := 0; i < n; i++ {

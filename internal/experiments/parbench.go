@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+)
+
+// ParBenchConfig sizes the sequential-vs-parallel regression benchmark: the
+// Table 2 classification sweep and the Fig. 3 density sweep, each run once
+// with one worker and once with Workers.
+type ParBenchConfig struct {
+	// Workers is the parallel worker count to compare against sequential.
+	// Zero means NumCPU.
+	Workers int
+	Table2  Table2Config
+	Fig3    Fig3Config
+}
+
+// DefaultParBenchConfig is a medium-size configuration: big enough that the
+// fan-out dominates setup cost, small enough for a CI lane.
+func DefaultParBenchConfig() ParBenchConfig {
+	t2 := DefaultTable2Config()
+	t2.Hadoop, t2.Memcached, t2.Webserver, t2.SingleNode = 6, 6, 6, 60
+	f3 := DefaultFig3Config()
+	f3.EntriesGrid = []int{1, 2, 4, 8}
+	f3.PerClass = 4
+	return ParBenchConfig{Table2: t2, Fig3: f3}
+}
+
+// ParBenchRun is one benchmark's sequential-vs-parallel measurement.
+type ParBenchRun struct {
+	Name           string  `json:"name"`
+	SequentialSecs float64 `json:"sequential_secs"`
+	ParallelSecs   float64 `json:"parallel_secs"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// ParBenchResult is the perf-trajectory record committed as
+// BENCH_parallel.json. CPUs is recorded because the achievable speedup is
+// bounded by it: on a single-CPU host the parallel runs measure scheduling
+// overhead, not speedup.
+type ParBenchResult struct {
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Runs       []ParBenchRun `json:"runs"`
+}
+
+// ParBench times the classification benchmarks sequentially (one worker)
+// and with cfg.Workers workers. Timings come from the wall clock — this is
+// the one experiment whose point *is* elapsed time — so only the Speedup
+// ratio is meaningful across hosts, and nothing here participates in the
+// byte-identical determinism contract.
+func ParBench(cfg ParBenchConfig) *ParBenchResult {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	res := &ParBenchResult{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+
+	time2 := func(w int) float64 {
+		cfg := cfg.Table2
+		cfg.Workers = w
+		start := wallClock()
+		Table2(cfg)
+		return wallClock().Sub(start).Seconds()
+	}
+	time3 := func(w int) float64 {
+		cfg := cfg.Fig3
+		cfg.Workers = w
+		start := wallClock()
+		Fig3(cfg)
+		return wallClock().Sub(start).Seconds()
+	}
+	for _, b := range []struct {
+		name string
+		run  func(w int) float64
+	}{
+		{"table2-classification", time2},
+		{"fig3-density-sweep", time3},
+	} {
+		seq := b.run(1)
+		parT := b.run(workers)
+		speedup := 0.0
+		if parT > 0 {
+			speedup = seq / parT
+		}
+		res.Runs = append(res.Runs, ParBenchRun{
+			Name:           b.name,
+			SequentialSecs: seq,
+			ParallelSecs:   parT,
+			Speedup:        speedup,
+		})
+	}
+	return res
+}
+
+// Print renders the comparison.
+func (r *ParBenchResult) Print(w io.Writer) {
+	fprintf(w, "== Parallel execution benchmark (%d CPUs, %d workers) ==\n", r.CPUs, r.Workers)
+	fprintf(w, "%-24s %10s %10s %8s\n", "benchmark", "seq(s)", "par(s)", "speedup")
+	for _, run := range r.Runs {
+		fprintf(w, "%-24s %10.2f %10.2f %7.2fx\n",
+			run.Name, run.SequentialSecs, run.ParallelSecs, run.Speedup)
+	}
+}
+
+// WriteJSON writes the result to path.
+func (r *ParBenchResult) WriteJSON(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

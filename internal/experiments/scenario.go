@@ -192,9 +192,11 @@ func libraryFor(u *workload.Universe, perType int) []*workload.Instance {
 
 func seedBaselineEngine(e *classify.Engine, lib []*workload.Instance, platforms []cluster.Platform, seed int64) {
 	rng := sim.NewRNG(seed + 77)
-	for _, w := range lib {
-		e.SeedOffline(w, classify.NewGroundTruthProber(w, platforms, rng.Stream(w.ID)))
+	probers := make([]classify.Prober, len(lib))
+	for i, w := range lib {
+		probers[i] = classify.NewGroundTruthProber(w, platforms, rng.Stream(w.ID))
 	}
+	e.SeedOfflineMany(lib, probers)
 }
 
 // PerfNormalizedToTarget returns a finished or running task's performance

@@ -17,6 +17,9 @@ type Table2Config struct {
 	SeedLibPerType                           int
 	ExhaustiveEntries                        int // 8 in the paper
 	Seed                                     int64
+	// Workers bounds the validation fan-out; zero means the process
+	// default. Results are identical for any value.
+	Workers int
 }
 
 // DefaultTable2Config matches the paper's counts.
@@ -55,16 +58,27 @@ func Table2(cfg Table2Config) *Table2Result {
 	eng := classify.NewEngine(platforms, opts, sim.NewRNG(cfg.Seed+1))
 	exh := classify.NewExhaustive(platforms, 8, opts.CF, sim.NewRNG(cfg.Seed+2))
 
-	// Offline library for both engines.
+	// Offline library for both engines. Workloads, probers, and the
+	// per-workload noise streams are built sequentially in arrival order —
+	// the derivation that pins determinism — and the dense probing then
+	// fans out across workers.
 	rng := sim.NewRNG(cfg.Seed + 3)
+	var libWs []*workload.Instance
+	var libGT []*classify.GroundTruthProber
+	var libPs []classify.Prober
 	for _, tp := range []workload.Type{workload.Hadoop, workload.Memcached,
 		workload.Webserver, workload.SingleNode, workload.Spark, workload.Storm, workload.Cassandra} {
 		for i := 0; i < cfg.SeedLibPerType; i++ {
 			w := u.New(workload.Spec{Type: tp, Family: -1, MaxNodes: 4})
 			p := classify.NewGroundTruthProber(w, platforms, rng.Stream(w.ID))
-			eng.SeedOffline(w, p)
-			exh.Seed(w, p)
+			libWs = append(libWs, w)
+			libGT = append(libGT, p)
+			libPs = append(libPs, p)
 		}
+	}
+	eng.SeedOfflineMany(libWs, libPs)
+	for i, w := range libWs {
+		exh.Seed(w, libGT[i])
 	}
 
 	groups := []struct {
@@ -79,16 +93,22 @@ func Table2(cfg Table2Config) *Table2Result {
 	}
 	res := &Table2Result{}
 	for _, g := range groups {
+		ws := make([]*workload.Instance, g.n)
+		noisy := make([]*classify.GroundTruthProber, g.n)
+		for i := range ws {
+			ws[i] = u.New(workload.Spec{Type: g.tp, Family: -1, MaxNodes: 4})
+			noisy[i] = classify.NewGroundTruthProber(ws[i], platforms, rng.Stream("exh/"+ws[i].ID))
+		}
 		var su, so, het, interf, joint []float64
-		for i := 0; i < g.n; i++ {
-			w := u.New(workload.Spec{Type: g.tp, Family: -1, MaxNodes: 4})
-			_, errs := classify.Validate(eng, w)
+		_, allErrs := classify.ValidateMany(eng, ws, cfg.Workers)
+		for _, errs := range allErrs {
 			su = append(su, errs.ScaleUp...)
 			so = append(so, errs.ScaleOut...)
 			het = append(het, errs.Hetero...)
 			interf = append(interf, errs.Interf...)
-			noisy := classify.NewGroundTruthProber(w, platforms, rng.Stream("exh/"+w.ID))
-			joint = append(joint, classify.ValidateExhaustiveWith(exh, w, noisy, cfg.ExhaustiveEntries)...)
+		}
+		for _, errs := range classify.ValidateExhaustiveMany(exh, ws, noisy, cfg.ExhaustiveEntries, cfg.Workers) {
+			joint = append(joint, errs...)
 		}
 		res.Rows = append(res.Rows, ClassErrors{
 			AppClass:   g.name,

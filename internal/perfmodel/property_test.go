@@ -1,0 +1,169 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quasar/internal/cluster"
+)
+
+func randVec(rng *rand.Rand, max float64) cluster.ResVec {
+	var v cluster.ResVec
+	for r := range v {
+		v[r] = max * rng.Float64()
+	}
+	return v
+}
+
+// TestInterferencePenaltyConfined: for any sensitivity and pressure vectors
+// (including pressure beyond 1, which must clamp), the penalty stays in
+// (0, 1] and never drops below the per-resource crawl floor compounded.
+func TestInterferencePenaltyConfined(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(21))
+	floor := math.Pow(0.02, float64(cluster.NumResources))
+	for trial := 0; trial < 500; trial++ {
+		sens := randVec(rng, 1)
+		pressure := randVec(rng, 3) // deliberately exceeds the clamp
+		pen := InterferencePenalty(sens, pressure)
+		if !(pen > 0 && pen <= 1) {
+			t.Fatalf("trial %d: penalty %g outside (0,1]", trial, pen)
+		}
+		if pen < floor-1e-15 {
+			t.Fatalf("trial %d: penalty %g below crawl floor %g", trial, pen, floor)
+		}
+	}
+	var zero cluster.ResVec
+	if pen := InterferencePenalty(randVec(rng, 1), zero); pen != 1 {
+		t.Fatalf("zero pressure must be penalty-free, got %g", pen)
+	}
+	if pen := InterferencePenalty(zero, randVec(rng, 3)); pen != 1 {
+		t.Fatalf("zero sensitivity must be penalty-free, got %g", pen)
+	}
+}
+
+// TestInterferencePenaltyClamps: pressure above full contention behaves
+// exactly like full contention.
+func TestInterferencePenaltyClamps(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		sens := randVec(rng, 1)
+		over := randVec(rng, 1)
+		var full cluster.ResVec
+		for r := range over {
+			over[r] += 1 // every resource pressured past saturation
+			full[r] = 1
+		}
+		if got, want := InterferencePenalty(sens, over), InterferencePenalty(sens, full); got != want {
+			t.Fatalf("trial %d: over-saturated pressure %g != saturated %g", trial, got, want)
+		}
+	}
+}
+
+// TestLatencyMonotoneInLoad: for a fixed capacity, mean and p99 latency must
+// be non-decreasing in offered load, and never dip below the zero-load
+// service time.
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		g := &Genome{
+			ServiceUS:  50 + 500*rng.Float64(),
+			TailFactor: 1 + 9*rng.Float64(),
+		}
+		capacity := 100 + 10000*rng.Float64()
+		prevMean, prevP99 := 0.0, 0.0
+		for step := 0; step <= 40; step++ {
+			lambda := capacity * 1.5 * float64(step) / 40 // sweeps past saturation
+			mean, p99 := g.Latency(lambda, capacity)
+			if mean < g.ServiceUS || p99 < g.ServiceUS {
+				t.Fatalf("trial %d λ=%g: latency (%g, %g) below service time %g",
+					trial, lambda, mean, p99, g.ServiceUS)
+			}
+			if p99 < mean {
+				t.Fatalf("trial %d λ=%g: p99 %g below mean %g", trial, lambda, p99, mean)
+			}
+			if mean < prevMean || p99 < prevP99 {
+				t.Fatalf("trial %d λ=%g: latency decreased: mean %g->%g p99 %g->%g",
+					trial, lambda, prevMean, mean, prevP99, p99)
+			}
+			prevMean, prevP99 = mean, p99
+		}
+	}
+	g := &Genome{ServiceUS: 100, TailFactor: 4}
+	if mean, p99 := g.Latency(50, 0); !math.IsInf(mean, 1) || !math.IsInf(p99, 1) {
+		t.Fatalf("zero capacity must give infinite latency, got (%g, %g)", mean, p99)
+	}
+}
+
+// TestQPSAtQoSConsistent: the knee returned by QPSAtQoS must actually meet
+// the bound when fed back through Latency, and a slightly higher load (below
+// the rho clamp) must violate it.
+func TestQPSAtQoSConsistent(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 100; trial++ {
+		g := &Genome{
+			ServiceUS:  50 + 200*rng.Float64(),
+			TailFactor: 1 + 6*rng.Float64(),
+		}
+		capacity := 500 + 5000*rng.Float64()
+		bound := g.ServiceUS * (2 + 10*rng.Float64())
+		knee := g.QPSAtQoS(capacity, bound)
+		if knee <= 0 || knee >= capacity {
+			t.Fatalf("trial %d: knee %g outside (0, capacity=%g)", trial, knee, capacity)
+		}
+		if _, p99 := g.Latency(knee, capacity); p99 > bound*(1+1e-9) {
+			t.Fatalf("trial %d: p99 %g at the knee exceeds bound %g", trial, p99, bound)
+		}
+		if knee < 0.98*capacity { // past the 0.99-rho clamp the knee saturates
+			if _, p99 := g.Latency(knee*1.02, capacity); p99 <= bound {
+				t.Fatalf("trial %d: bound %g still met 2%% past the knee (p99=%g)", trial, bound, p99)
+			}
+		}
+	}
+	g := &Genome{ServiceUS: 100, TailFactor: 4}
+	if q := g.QPSAtQoS(0, 500); q != 0 {
+		t.Fatalf("zero capacity must yield 0 QPS, got %g", q)
+	}
+	if q := g.QPSAtQoS(1000, 100); q != 0 {
+		t.Fatalf("bound at service time is unreachable, want 0 QPS, got %g", q)
+	}
+}
+
+// TestScaleOutEfficiencyRegimes: efficiency is exactly 1 on a single node,
+// follows n^(Beta-1) beyond, and is monotone in the direction Beta dictates.
+func TestScaleOutEfficiencyRegimes(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 100; trial++ {
+		beta := 0.5 + rng.Float64() // spans sublinear through superlinear
+		g := &Genome{Beta: beta}
+		if e := g.ScaleOutEfficiency(1); e != 1 {
+			t.Fatalf("beta=%g: single-node efficiency %g != 1", beta, e)
+		}
+		if e := g.ScaleOutEfficiency(0); e != 1 {
+			t.Fatalf("beta=%g: zero-node efficiency %g != 1", beta, e)
+		}
+		prev := 1.0
+		for n := 2; n <= 32; n *= 2 {
+			e := g.ScaleOutEfficiency(n)
+			want := math.Pow(float64(n), beta-1)
+			if math.Abs(e-want) > 1e-12 {
+				t.Fatalf("beta=%g n=%d: efficiency %g, want %g", beta, n, e, want)
+			}
+			switch {
+			case beta < 1 && e >= prev:
+				t.Fatalf("beta=%g n=%d: sublinear regime must lose efficiency (%g >= %g)", beta, n, e, prev)
+			case beta > 1 && e <= prev:
+				t.Fatalf("beta=%g n=%d: superlinear regime must gain efficiency (%g <= %g)", beta, n, e, prev)
+			}
+			prev = e
+		}
+	}
+	if e := (&Genome{Beta: 1}).ScaleOutEfficiency(16); e != 1 {
+		t.Fatalf("beta=1 must scale perfectly, got %g", e)
+	}
+}
