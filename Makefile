@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-parallel fmt-check ci
+.PHONY: all build test race lint bench bench-parallel bench-obs trace-diff fmt-check ci
 
 all: build
 
@@ -30,6 +30,17 @@ bench:
 ## bench-parallel: time sequential vs parallel fan-out, refresh BENCH_parallel.json
 bench-parallel:
 	$(GO) run ./cmd/quasar-bench -parbench-out BENCH_parallel.json parbench
+
+## bench-obs: time a scenario with the tracer off vs on, refresh BENCH_obs.json
+bench-obs:
+	$(GO) run ./cmd/quasar-bench -obsbench-out BENCH_obs.json obsbench
+
+## trace-diff: assert the trace is byte-identical across worker counts
+trace-diff:
+	$(GO) run ./cmd/quasar-sim -horizon 4000 -workers 1 -trace /tmp/quasar-trace-w1.jsonl >/dev/null
+	$(GO) run ./cmd/quasar-sim -horizon 4000 -workers 4 -trace /tmp/quasar-trace-w4.jsonl >/dev/null
+	cmp /tmp/quasar-trace-w1.jsonl /tmp/quasar-trace-w4.jsonl
+	$(GO) run ./cmd/quasar-trace /tmp/quasar-trace-w1.jsonl
 
 ## fmt-check: fail if any file needs gofmt
 fmt-check:

@@ -9,6 +9,10 @@
 // classification sweeps sequentially vs on the worker pool and writes the
 // comparison to -parbench-out (default BENCH_parallel.json).
 //
+// The "obsbench" artifact (also not in the default suite) times a full
+// scenario with the tracer off vs on and writes the overhead record to
+// -obsbench-out (default BENCH_obs.json).
+//
 // The -quick flag shrinks every scenario (fewer workloads, shorter
 // horizons) for a fast smoke pass.
 package main
@@ -28,6 +32,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink scenarios for a fast pass")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel fan-outs (0 = GOMAXPROCS); never changes results")
 	parbenchOut := flag.String("parbench-out", "BENCH_parallel.json", "output path for the parbench artifact")
+	obsbenchOut := flag.String("obsbench-out", "BENCH_obs.json", "output path for the obsbench artifact")
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
 
@@ -164,6 +169,18 @@ func main() {
 			res := experiments.ParBench(cfg)
 			res.Print(os.Stdout)
 			die(res.WriteJSON(*parbenchOut))
+		case "obsbench":
+			cfg := experiments.DefaultObsBenchConfig()
+			if *quick {
+				cfg.Hadoop, cfg.Spark, cfg.Storm, cfg.Services = 2, 1, 1, 2
+				cfg.SingleNode, cfg.BestEffort = 6, 8
+				cfg.HorizonSecs = 4000
+				cfg.Repeats = 2
+			}
+			res, err := experiments.ObsBench(cfg)
+			die(err)
+			res.Print(os.Stdout)
+			die(res.WriteJSON(*obsbenchOut))
 		default:
 			_, _ = fmt.Fprintf(os.Stderr, "unknown artifact %q\n", name)
 			os.Exit(2)

@@ -17,6 +17,7 @@ import (
 	"quasar/internal/core"
 	"quasar/internal/experiments"
 	"quasar/internal/loadgen"
+	"quasar/internal/obs"
 	"quasar/internal/par"
 	"quasar/internal/perfmodel"
 	"quasar/internal/workload"
@@ -36,6 +37,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		workers     = flag.Int("workers", 0, "worker goroutines for parallel fan-outs (0 = GOMAXPROCS); never changes results")
 		verbose     = flag.Bool("v", false, "per-workload detail")
+		tracePath   = flag.String("trace", "", "write a deterministic trace of the run to this file")
+		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl | chrome | prom")
 	)
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
@@ -55,6 +58,7 @@ func main() {
 
 	s, err := experiments.NewScenario(experiments.ScenarioConfig{
 		Cluster: cl, Manager: kind, Seed: *seed, MaxNodes: 4, SeedLib: 3, Misestimate: true,
+		Trace: *tracePath != "",
 	})
 	if err != nil {
 		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
@@ -97,6 +101,14 @@ func main() {
 	s.RT.Run(*horizon)
 	s.RT.Stop()
 
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, *traceFormat, s.Tracer); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events -> %s (%s)\n", s.Tracer.Len(), *tracePath, *traceFormat)
+	}
+
 	fmt.Printf("manager=%s cluster=%s horizon=%.0fs workloads=%d\n",
 		s.Mgr.Name(), *clusterName, *horizon, len(tasks))
 	byStatus := map[core.Status]int{}
@@ -131,4 +143,26 @@ func main() {
 		fmt.Printf("mean %% of target achieved: %.1f%%\n", 100*sum/float64(n))
 	}
 	fmt.Printf("mean CPU utilization: %.1f%%\n", 100*s.RT.CPUHeat.MeanOverall())
+}
+
+// writeTrace renders the collected trace in the requested format.
+func writeTrace(path, format string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "jsonl":
+		err = obs.WriteJSONL(f, tr)
+	case "chrome":
+		err = obs.WriteChromeTrace(f, tr)
+	case "prom":
+		err = obs.WritePromSnapshot(f, tr)
+	default:
+		err = fmt.Errorf("unknown -trace-format %q (want jsonl, chrome, or prom)", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,262 @@
+// Command quasar-trace summarizes a JSONL trace written by quasar-sim
+// -trace. It reconstructs scheduling decisions and task lifecycles from the
+// log alone and answers the questions an operator asks of a run:
+//
+//	quasar-trace run.jsonl                     # run summary
+//	quasar-trace -task hadoop-0007 run.jsonl   # task timeline
+//	quasar-trace -task hadoop-0007 -server 12 run.jsonl
+//	                                           # why did it land on server 12?
+//	quasar-trace -task memcached-0003 -qos run.jsonl
+//	                                           # why did it miss its QoS target?
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"quasar/internal/obs"
+)
+
+func main() {
+	var (
+		task   = flag.String("task", "", "focus on one workload ID")
+		server = flag.Int("server", -1, "with -task: explain the placement on this server")
+		qos    = flag.Bool("qos", false, "with -task: explain QoS misses")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		_, _ = fmt.Fprintln(os.Stderr, "usage: quasar-trace [-task ID [-server N | -qos]] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	evs, err := obs.ReadJSONL(f)
+	_ = f.Close()
+	if err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *task != "" && *server >= 0:
+		explainPlacement(evs, *task, *server)
+	case *task != "" && *qos:
+		explainQoS(evs, *task)
+	case *task != "":
+		timeline(evs, *task)
+	default:
+		summarize(evs)
+	}
+}
+
+// decisionOf decodes the ScheduleDecision payload of a sched decision event.
+func decisionOf(ev *obs.RawEvent) (*obs.ScheduleDecision, bool) {
+	if ev.Cat != "sched" || ev.Name != "decision" {
+		return nil, false
+	}
+	var w struct {
+		Decision obs.ScheduleDecision `json:"decision"`
+	}
+	if err := json.Unmarshal(ev.Args, &w); err != nil {
+		return nil, false
+	}
+	return &w.Decision, true
+}
+
+func argsOf(ev *obs.RawEvent) map[string]any {
+	m := map[string]any{}
+	_ = json.Unmarshal(ev.Args, &m)
+	return m
+}
+
+// touches reports whether an event belongs to a workload: on its own track,
+// a placement span named after it, or a decision about it.
+func touches(ev *obs.RawEvent, task string) bool {
+	if ev.Track == "workload/"+task {
+		return true
+	}
+	if strings.HasPrefix(ev.Track, "server/") && ev.Name == task {
+		return true
+	}
+	if d, ok := decisionOf(ev); ok {
+		return d.Workload == task
+	}
+	if a := argsOf(ev); a["workload"] == task {
+		return true
+	}
+	return false
+}
+
+func summarize(evs []obs.RawEvent) {
+	if len(evs) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	byName := map[string]int{}
+	workloads, servers := map[string]bool{}, map[string]bool{}
+	decisions, placed := 0, 0
+	for i := range evs {
+		ev := &evs[i]
+		byName[ev.Name]++
+		if strings.HasPrefix(ev.Track, "workload/") {
+			workloads[strings.TrimPrefix(ev.Track, "workload/")] = true
+		}
+		if strings.HasPrefix(ev.Track, "server/") {
+			servers[ev.Track] = true
+		}
+		if d, ok := decisionOf(ev); ok {
+			decisions++
+			if d.Outcome == obs.OutcomePlaced {
+				placed++
+			}
+		}
+	}
+	fmt.Printf("events: %d  span: %.0fs..%.0fs\n", len(evs), evs[0].T, evs[len(evs)-1].T)
+	fmt.Printf("workloads: %d  servers touched: %d\n", len(workloads), len(servers))
+	fmt.Printf("schedule decisions: %d (%d placed, %d rejected)\n", decisions, placed, decisions-placed)
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		// Placement spans are named after workloads; fold them into one row.
+		if workloads[n] {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("event counts:")
+	for _, n := range names {
+		fmt.Printf("  %-18s %d\n", n, byName[n])
+	}
+}
+
+func timeline(evs []obs.RawEvent, task string) {
+	found := false
+	for i := range evs {
+		ev := &evs[i]
+		if !touches(ev, task) {
+			continue
+		}
+		found = true
+		switch {
+		case ev.Name == task && ev.Ph == "b":
+			a := argsOf(ev)
+			fmt.Printf("%9.1fs  placed on %s  %v cores / %v GB (%v)\n",
+				ev.T, strings.TrimPrefix(ev.Track, "server/"), a["cores"], a["mem_gb"], a["platform"])
+		case ev.Name == task && ev.Ph == "e":
+			fmt.Printf("%9.1fs  removed from %s\n", ev.T, strings.TrimPrefix(ev.Track, "server/"))
+		default:
+			if d, ok := decisionOf(ev); ok {
+				fmt.Printf("%9.1fs  schedule: %s (need %.3g, %d candidates, picked %v)\n",
+					ev.T, d.Outcome, d.NeedPerf, len(d.Candidates), d.PickedServers())
+				continue
+			}
+			fmt.Printf("%9.1fs  %s", ev.T, ev.Name)
+			if a := argsOf(ev); len(a) > 0 && ev.Name != "submit" {
+				b, _ := json.Marshal(a)
+				fmt.Printf("  %s", b)
+			}
+			fmt.Println()
+		}
+	}
+	if !found {
+		fmt.Printf("no events for workload %q\n", task)
+	}
+}
+
+func explainPlacement(evs []obs.RawEvent, task string, server int) {
+	var last *obs.ScheduleDecision
+	var at float64
+	for i := range evs {
+		ev := &evs[i]
+		d, ok := decisionOf(ev)
+		if !ok || d.Workload != task {
+			continue
+		}
+		for _, p := range d.Picks {
+			if p.Server == server {
+				last, at = d, ev.T
+			}
+		}
+	}
+	if last == nil {
+		fmt.Printf("no decision placed %s on server %d\n", task, server)
+		return
+	}
+	fmt.Printf("at %.1fs, %s needed perf %.3g (%.3g with margin); server %d was picked.\n",
+		at, task, last.NeedPerf, last.Want, server)
+	fmt.Printf("candidate ranking (quality = platform affinity x interference):\n")
+	fmt.Printf("  %-7s %-10s %10s %6s %8s %6s %6s %s\n",
+		"server", "platform", "quality", "cores", "mem", "evict", "press", "")
+	for i, c := range last.Candidates {
+		mark := ""
+		if c.Picked {
+			mark = "<- picked"
+		}
+		if !c.Compatible {
+			mark += " (incompatible: quality penalized 20x)"
+		}
+		fmt.Printf("  %-7d %-10s %10.4g %6d %8.1f %6d %6.2f %s\n",
+			c.Server, c.Platform, c.Quality, c.FreeCores, c.FreeMemGB, c.Evictable, c.Pressure, mark)
+		if i >= 14 && !c.Picked {
+			fmt.Printf("  ... (%d more candidates)\n", len(last.Candidates)-i-1)
+			break
+		}
+	}
+	if c, ok := last.CandidateFor(server); ok {
+		rank := 1
+		for _, o := range last.Candidates {
+			if o.Quality > c.Quality {
+				rank++
+			}
+		}
+		fmt.Printf("server %d ranked #%d of %d by estimated quality %.4g for this workload.\n",
+			server, rank, len(last.Candidates), c.Quality)
+	}
+	if len(last.Evictions) > 0 {
+		fmt.Printf("required evicting best-effort residents: %v\n", last.Evictions)
+	}
+}
+
+func explainQoS(evs []obs.RawEvent, task string) {
+	misses := 0
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Track != "workload/"+task || ev.Name != "qos-miss" {
+			continue
+		}
+		misses++
+		a := argsOf(ev)
+		fmt.Printf("%9.1fs  QoS miss: offered %v QPS vs capacity %v QPS, p99 %v us\n",
+			ev.T, a["offered_qps"], a["capacity_qps"], a["p99_us"])
+		// The manager's reaction: the next scale/reschedule action for this
+		// task after the miss.
+		for j := i + 1; j < len(evs); j++ {
+			nx := &evs[j]
+			if nx.Cat != "quasar" || (nx.Name != "scale" && nx.Name != "reschedule") {
+				continue
+			}
+			na := argsOf(nx)
+			dec, hasDec := na["decision"].(map[string]any)
+			if (hasDec && dec["workload"] == task) || na["workload"] == task {
+				if hasDec {
+					fmt.Printf("%9.1fs    -> manager %s: %v\n", nx.T, nx.Name, dec["actions"])
+				} else {
+					fmt.Printf("%9.1fs    -> manager %s\n", nx.T, nx.Name)
+				}
+				break
+			}
+		}
+	}
+	if misses == 0 {
+		fmt.Printf("%s never transitioned to a QoS miss in this trace\n", task)
+	} else {
+		fmt.Printf("%d miss transition(s) for %s\n", misses, task)
+	}
+}

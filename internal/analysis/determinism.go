@@ -23,12 +23,21 @@ import (
 //     by schedule, so results change run to run; derive per-task
 //     substreams (RNG.Substreams) before the fan-out instead. Receivers
 //     selected through an index expression (subs[i].Float64()) are the
-//     sanctioned per-task pattern and are not flagged.
+//     sanctioned per-task pattern and are not flagged;
+//  5. tracer emission (obs.Tracer / obs.Shard methods that append to the
+//     event stream) inside a map-range loop — the events land in Go's
+//     randomized map order, breaking the byte-identical-trace contract;
+//     iterate sorted keys instead;
+//  6. tracer emission on a tracer or shard captured inside a concurrent
+//     function literal — emissions interleave by schedule; derive
+//     per-task shards (Tracer.Shards) before the fan-out, as with RNG
+//     substreams. shards[i].Instant(...) passes.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "flags unseeded global math/rand draws, bare time.Now(), " +
-		"unsorted result accumulation across map iteration, and shared-RNG " +
-		"capture in concurrent tasks in simulation code",
+		"unsorted result accumulation across map iteration, shared-RNG " +
+		"capture in concurrent tasks, and trace emission in map order or " +
+		"across concurrent tasks in simulation code",
 	Scope: []string{
 		"internal/sim",
 		"internal/experiments",
@@ -36,6 +45,7 @@ var Determinism = &Analyzer{
 		"internal/sched",
 		"internal/core",
 		"internal/par",
+		"internal/obs",
 	},
 	Run: runDeterminism,
 }
@@ -96,14 +106,14 @@ func checkFuncDeterminism(pass *Pass, fd *ast.FuncDecl) {
 				if strings.HasSuffix(pkgPath, "internal/par") && parFanoutFuncs[name] {
 					for _, arg := range n.Args {
 						if fl, ok := arg.(*ast.FuncLit); ok {
-							checkSharedRNG(pass, fl, "par."+name+" task")
+							checkConcurrentCapture(pass, fl, "par."+name+" task")
 						}
 					}
 				}
 			}
 		case *ast.GoStmt:
 			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
-				checkSharedRNG(pass, fl, "goroutine")
+				checkConcurrentCapture(pass, fl, "goroutine")
 			}
 		case *ast.RangeStmt:
 			checkMapRange(pass, fd, n)
@@ -112,14 +122,17 @@ func checkFuncDeterminism(pass *Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// checkSharedRNG flags method calls inside a concurrent function literal
-// whose receiver is an RNG captured from the enclosing scope. Concurrent
-// draws from one generator interleave by goroutine schedule, breaking the
-// identical-seeds-identical-results contract (and racing, for sim.RNG).
-// Receivers reached through an index expression — subs[i].Float64() on a
-// pre-derived substream slice — are the sanctioned per-task pattern and
-// pass. RNGs declared inside the literal are task-local and also pass.
-func checkSharedRNG(pass *Pass, fl *ast.FuncLit, context string) {
+// checkConcurrentCapture flags method calls inside a concurrent function
+// literal whose receiver is shared mutable simulation state captured from
+// the enclosing scope: an RNG (concurrent draws interleave by goroutine
+// schedule, breaking the identical-seeds-identical-results contract and
+// racing, for sim.RNG) or a tracer/shard emission (concurrent appends
+// interleave the same way, breaking the byte-identical-trace contract).
+// Receivers reached through an index expression — subs[i].Float64() or
+// shards[i].Instant(...) on a pre-derived per-task slice — are the
+// sanctioned pattern and pass. Values declared inside the literal are
+// task-local and also pass.
+func checkConcurrentCapture(pass *Pass, fl *ast.FuncLit, context string) {
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -130,16 +143,27 @@ func checkSharedRNG(pass *Pass, fl *ast.FuncLit, context string) {
 			return true
 		}
 		tv, ok := pass.Pkg.Info.Types[sel.X]
-		if !ok || !isRNGType(tv.Type) {
+		if !ok {
+			return true
+		}
+		isRNG := isRNGType(tv.Type)
+		isTrace := isTracerType(tv.Type) && tracerEmitMethods[sel.Sel.Name]
+		if !isRNG && !isTrace {
 			return true
 		}
 		root := capturedRoot(pass, sel.X, fl)
 		if root == nil {
 			return true
 		}
-		pass.Reportf(call.Pos(),
-			"RNG %s is shared across concurrent tasks in this %s: draws interleave by schedule; derive per-task substreams (RNG.Substreams) before the fan-out",
-			root.Name(), context)
+		if isRNG {
+			pass.Reportf(call.Pos(),
+				"RNG %s is shared across concurrent tasks in this %s: draws interleave by schedule; derive per-task substreams (RNG.Substreams) before the fan-out",
+				root.Name(), context)
+		} else {
+			pass.Reportf(call.Pos(),
+				"tracer %s is shared across concurrent tasks in this %s: emissions interleave by schedule; derive per-task shards (Tracer.Shards) before the fan-out",
+				root.Name(), context)
+		}
 		return true
 	})
 }
@@ -162,6 +186,28 @@ func isRNGType(t types.Type) bool {
 		return true
 	}
 	return false
+}
+
+// tracerEmitMethods are the obs.Tracer and obs.Shard methods that append
+// to the event stream. Read-only accessors (Enabled, Len, Events, Tracks)
+// are deliberately absent: they are safe anywhere.
+var tracerEmitMethods = map[string]bool{
+	"Instant": true, "InstantAt": true, "Begin": true, "End": true,
+	"BeginAsync": true, "EndAsync": true, "Counter": true, "Merge": true,
+}
+
+// isTracerType reports whether t is (a pointer to) an event emitter of the
+// observability subsystem: obs.Tracer or obs.Shard.
+func isTracerType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return strings.HasSuffix(path, "internal/obs") && (name == "Tracer" || name == "Shard")
 }
 
 // capturedRoot walks a receiver expression (ident, selector chain, parens)
@@ -273,6 +319,27 @@ func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
 				obj.Name(), obj.Name())
 		}
 	}
+	// Tracer emission inside the loop body lands events in randomized map
+	// order, breaking the byte-identical-trace contract. There is no
+	// sort-afterwards escape hatch: the tracer's sequence numbers are
+	// assigned at emission.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !tracerEmitMethods[sel.Sel.Name] {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[sel.X]
+		if !ok || !isTracerType(tv.Type) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"tracer emission inside map iteration lands events in Go's randomized map order; iterate a sorted key slice instead")
+		return true
+	})
 }
 
 // isBuiltinAppend reports whether call invokes the append builtin.

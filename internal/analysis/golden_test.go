@@ -22,6 +22,8 @@ var goldenCases = []struct {
 	{Determinism, "determinism_clean", false},
 	{Determinism, "determinism_par_bad", true},
 	{Determinism, "determinism_par_clean", false},
+	{Determinism, "determinism_obs_bad", true},
+	{Determinism, "determinism_obs_clean", false},
 	{FloatCmp, "floatcmp_bad", true},
 	{FloatCmp, "floatcmp_clean", false},
 	{SnapshotDrift, "snapshotdrift_bad", true},

@@ -1,0 +1,49 @@
+// Package determinism_obs_clean is a known-clean fixture for the tracer
+// rules of the determinism analyzer: each function is the sanctioned
+// counterpart of a determinism_obs_bad pattern.
+package determinism_obs_clean
+
+import (
+	"sort"
+
+	"quasar/internal/obs"
+	"quasar/internal/par"
+)
+
+// EmitSortedKeys sorts the map's keys before emitting, so the event order
+// is a pure function of the map's contents.
+func EmitSortedKeys(tr *obs.Tracer, util map[string]float64) {
+	keys := make([]string, 0, len(util))
+	for k := range util {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tr.Instant("server/"+k, "runtime", "util", obs.Arg{Key: "u", Val: util[k]})
+	}
+}
+
+// SimClockStamp reads time through an injected simulation clock.
+func SimClockStamp(clock func() float64, tr *obs.Tracer) {
+	tr.InstantAt(clock(), "manager", "runtime", "tick")
+}
+
+// ShardedFanOut derives one shard per task before the fan-out and merges
+// them in input order afterwards — the shard discipline.
+func ShardedFanOut(tr *obs.Tracer) {
+	shards := tr.Shards(8)
+	par.ParFor(0, 8, func(i int) {
+		shards[i].Instant("classify", "classify", "probe")
+	})
+	tr.Merge(shards)
+}
+
+// ReadOnlyInTask checks the tracer's state inside a task without emitting,
+// which is safe anywhere.
+func ReadOnlyInTask(tr *obs.Tracer, hits []int) {
+	par.ParFor(0, len(hits), func(i int) {
+		if tr.Enabled() {
+			hits[i]++
+		}
+	})
+}

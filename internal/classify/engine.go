@@ -6,6 +6,7 @@ import (
 
 	"quasar/internal/cf"
 	"quasar/internal/cluster"
+	"quasar/internal/obs"
 	"quasar/internal/par"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
@@ -184,7 +185,12 @@ type Engine struct {
 	axes    [numAxes]*axis
 	rowOf   map[string]int
 	rng     *sim.RNG
+	tracer  *obs.Tracer
 }
+
+// SetTracer installs the tracer. Probe fan-outs trace through shards merged
+// in input order, so emission stays deterministic across worker counts.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
 
 // NewEngine builds an engine for the platform set.
 func NewEngine(platforms []cluster.Platform, opts Options, rng *sim.RNG) *Engine {
@@ -312,9 +318,17 @@ func (e *Engine) SeedOffline(w *workload.Instance, p Prober) {
 // appends then land sequentially in input order, so the matrices are
 // byte-identical to seeding the workloads one at a time.
 func (e *Engine) SeedOfflineMany(ws []*workload.Instance, probers []Prober) {
+	shards := e.tracer.Shards(len(ws))
 	all := par.ParMap(e.workers, len(ws), func(i int) *ProbeObs {
-		return e.probeSeed(ws[i], probers[i])
+		po := e.probeSeed(ws[i], probers[i])
+		if sh := shards[i]; sh.Enabled() {
+			sh.Instant("classify", "classify", "seed-probe",
+				obs.Arg{Key: "workload", Val: ws[i].ID},
+				obs.Arg{Key: "ref_perf", Val: po.RefPerf})
+		}
+		return po
 	})
+	e.tracer.Merge(shards)
 	for i, po := range all {
 		e.appendObs(ws[i].ID, po)
 	}
@@ -388,6 +402,12 @@ func (e *Engine) profilingAlloc() cluster.Alloc {
 func (e *Engine) Classify(w *workload.Instance, p Prober) *Estimates {
 	po := e.probeArrival(w, p, e.rng.Stream("classify/"+w.ID))
 	row := e.appendObs(w.ID, po)
+	if e.tracer.Enabled() {
+		e.tracer.Instant("classify", "classify", "classify",
+			obs.Arg{Key: "workload", Val: w.ID},
+			obs.Arg{Key: "row", Val: row},
+			obs.Arg{Key: "ref_perf", Val: po.RefPerf})
+	}
 	return e.estimatesFromProbe(w, row, po)
 }
 
@@ -560,6 +580,11 @@ func (e *Engine) Reclassify(w *workload.Instance, p Prober) *Estimates {
 	row, ok := e.rowOf[w.ID]
 	if !ok {
 		return e.Classify(w, p)
+	}
+	if e.tracer.Enabled() {
+		e.tracer.Instant("classify", "classify", "reclassify",
+			obs.Arg{Key: "workload", Val: w.ID},
+			obs.Arg{Key: "row", Val: row})
 	}
 	rng := e.rng.Stream("reclassify/" + w.ID)
 	entries := e.opts.Entries

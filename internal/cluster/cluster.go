@@ -196,9 +196,11 @@ func (s *Server) PressureOn(workloadID string) ResVec {
 }
 
 // CPUUtilization returns actually-busy cores divided by total cores.
+// Summation runs in workload-ID order: float addition is not associative,
+// so summing in map order would change the last bits run to run.
 func (s *Server) CPUUtilization() float64 {
 	busy := 0.0
-	for _, pl := range s.placements {
+	for _, pl := range s.Placements() {
 		busy += pl.ActiveCores
 	}
 	u := busy / float64(s.Platform.Cores)
@@ -211,7 +213,7 @@ func (s *Server) CPUUtilization() float64 {
 // MemUtilization returns actually-used memory divided by total memory.
 func (s *Server) MemUtilization() float64 {
 	used := 0.0
-	for _, pl := range s.placements {
+	for _, pl := range s.Placements() {
 		used += pl.ActiveMemGB
 	}
 	u := used / s.Platform.MemoryGB
@@ -224,7 +226,7 @@ func (s *Server) MemUtilization() float64 {
 // DiskUtilization returns the fraction of disk bandwidth in use.
 func (s *Server) DiskUtilization() float64 {
 	used := 0.0
-	for _, pl := range s.placements {
+	for _, pl := range s.Placements() {
 		used += pl.ActiveDisk
 	}
 	if used > 1 {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"quasar/internal/classify"
 	"quasar/internal/cluster"
+	"quasar/internal/obs"
 	"quasar/internal/perfmodel"
 	"quasar/internal/sched"
 	"quasar/internal/sim"
@@ -69,6 +71,7 @@ type Quasar struct {
 	engine *classify.Engine
 	sch    *sched.Scheduler
 	rng    *sim.RNG
+	tracer *obs.Tracer
 
 	state map[string]*taskState
 	queue []*Task // admission-control wait queue (and evicted best-effort)
@@ -107,6 +110,29 @@ func NewQuasar(rt *Runtime, opts QuasarOptions) *Quasar {
 // Engine exposes the classification engine (for offline seeding by
 // scenarios).
 func (q *Quasar) Engine() *classify.Engine { return q.engine }
+
+// SetTracer wires the tracer through every layer the manager owns: the
+// runtime's lifecycle events, the scheduler's decision events, the
+// classification engine's probes, and the manager's own action events.
+func (q *Quasar) SetTracer(tr *obs.Tracer) {
+	q.tracer = tr
+	q.sch.Tracer = tr
+	q.rt.SetTracer(tr)
+	q.engine.SetTracer(tr)
+	if reg := tr.Registry(); reg != nil {
+		reg.Gauge("quasar_queue_len", "admission-control queue length",
+			func() float64 { return float64(len(q.queue)) })
+		reg.Gauge("quasar_phase_changes", "phase changes detected",
+			func() float64 { return float64(q.PhaseChangesDetected) })
+	}
+}
+
+// resVecSlice converts a pressure vector into the decision-payload form.
+func resVecSlice(v cluster.ResVec) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v[:])
+	return out
+}
 
 // Name implements Manager.
 func (q *Quasar) Name() string { return "quasar" }
@@ -175,6 +201,13 @@ func (q *Quasar) admit(t *Task) {
 	}
 	q.state[w.ID] = st
 
+	if q.tracer.Enabled() {
+		q.tracer.Instant("manager", "quasar", "admit", obs.Arg{Key: "decision", Val: obs.AdmitDecision{
+			Workload: w.ID, Class: st.est.Class.String(), RefPerf: st.est.RefPerf,
+			Beta: st.est.Beta(), Tol: resVecSlice(st.est.Tol), Caused: resVecSlice(st.est.Caused),
+			WorkEst: st.workEst, Deadline: st.deadline,
+		}})
+	}
 	if !q.tryPlace(t, st) {
 		t.Status = StatusQueued
 		q.queue = append(q.queue, t)
@@ -438,8 +471,22 @@ func (q *Quasar) allocCostPerHour(t *Task) float64 {
 // scaleUpOrOut grows the allocation: scale-up on current servers first
 // (cheapest, no migration), then scale-out via the scheduler.
 func (q *Quasar) scaleUpOrOut(t *Task, st *taskState, need, measured float64) {
+	var actions []string
+	if q.tracer.Enabled() {
+		defer func() {
+			if len(actions) == 0 {
+				actions = []string{"none"}
+			}
+			q.tracer.Instant("manager", "quasar", "scale", obs.Arg{Key: "decision", Val: obs.AdjustDecision{
+				Workload: t.W.ID, Need: need, Measured: measured, Actions: actions,
+			}})
+		}()
+	}
 	// Respect the workload's cost budget (§4.4): never grow past it.
 	if cap := t.W.MaxCostPerHour; cap > 0 && q.allocCostPerHour(t) >= cap {
+		if q.tracer.Enabled() {
+			actions = append(actions, "none: at cost cap")
+		}
 		return
 	}
 	// Scale up in place.
@@ -480,6 +527,10 @@ func (q *Quasar) scaleUpOrOut(t *Task, st *taskState, need, measured float64) {
 			if grown > 1.05*cur {
 				if q.rt.Resize(t, srv, grow) == nil {
 					q.retuneConfig(t, st, grow)
+					if q.tracer.Enabled() {
+						actions = append(actions, fmt.Sprintf("scale-up server %d -> %dc/%gg",
+							srv.ID, grow.Cores, grow.MemoryGB))
+					}
 				}
 			}
 		}
@@ -522,7 +573,10 @@ func (q *Quasar) scaleUpOrOut(t *Task, st *taskState, need, measured float64) {
 		if have[n.Server.ID] {
 			continue // already on this server; Place would fail
 		}
-		_ = q.rt.Place(t, n.Server, n.Alloc)
+		if q.rt.Place(t, n.Server, n.Alloc) == nil && q.tracer.Enabled() {
+			actions = append(actions, fmt.Sprintf("scale-out +server %d %dc/%gg",
+				n.Server.ID, n.Alloc.Cores, n.Alloc.MemoryGB))
+		}
 	}
 }
 
@@ -557,6 +611,7 @@ func (q *Quasar) nodeChoices(t *Task) []classify.NodeChoice {
 // (completed tasks live in the DFS); stateful services migrate microshards,
 // which costs milliseconds per shard and is absorbed within a tick.
 func (q *Quasar) reschedule(t *Task, st *taskState) {
+	q.tracer.Instant("manager", "quasar", "reschedule", obs.Arg{Key: "workload", Val: t.W.ID})
 	q.rt.Release(t)
 	if !q.tryPlace(t, st) {
 		t.Status = StatusQueued
@@ -567,6 +622,17 @@ func (q *Quasar) reschedule(t *Task, st *taskState) {
 // reclaim shrinks over-provisioned allocations, releasing idle resources
 // for best-effort work.
 func (q *Quasar) reclaim(t *Task, st *taskState, need, measured float64) {
+	var actions []string
+	if q.tracer.Enabled() {
+		defer func() {
+			if len(actions) == 0 {
+				actions = []string{"none"}
+			}
+			q.tracer.Instant("manager", "quasar", "reclaim", obs.Arg{Key: "decision", Val: obs.AdjustDecision{
+				Workload: t.W.ID, Need: need, Measured: measured, Actions: actions,
+			}})
+		}()
+	}
 	excess := measured / math.Max(need, 1e-9)
 	if excess < 1.5 {
 		return
@@ -576,7 +642,9 @@ func (q *Quasar) reclaim(t *Task, st *taskState, need, measured float64) {
 	ids := t.Servers()
 	if len(ids) > 1 {
 		last := ids[len(ids)-1]
-		_ = q.rt.RemoveNode(t, last)
+		if q.rt.RemoveNode(t, last) == nil && q.tracer.Enabled() {
+			actions = append(actions, fmt.Sprintf("drop server %d", last))
+		}
 		return
 	}
 	pl := t.placements[ids[0]]
@@ -585,7 +653,10 @@ func (q *Quasar) reclaim(t *Task, st *taskState, need, measured float64) {
 			Cores:    maxInt(1, pl.Alloc.Cores/2),
 			MemoryGB: math.Max(1, pl.Alloc.MemoryGB/2),
 		}
-		_ = q.rt.Resize(t, pl.Server, shrunk)
+		if q.rt.Resize(t, pl.Server, shrunk) == nil && q.tracer.Enabled() {
+			actions = append(actions, fmt.Sprintf("shrink server %d -> %dc/%gg",
+				pl.Server.ID, shrunk.Cores, shrunk.MemoryGB))
+		}
 	}
 }
 
@@ -594,6 +665,11 @@ func (q *Quasar) reclaim(t *Task, st *taskState, need, measured float64) {
 func (q *Quasar) reclassify(t *Task, st *taskState, source string) {
 	q.PhaseChangesDetected++
 	q.PhaseEvents = append(q.PhaseEvents, PhaseEvent{Time: q.rt.Eng.Now(), TaskID: t.W.ID, Source: source})
+	if q.tracer.Enabled() {
+		q.tracer.Instant(workloadTrack(t.W.ID), "quasar", "phase-change",
+			obs.Arg{Key: "source", Val: source})
+		q.tracer.Registry().Counter("phase_changes_total", "reclassifications triggered by monitoring").Inc()
+	}
 	prober := classify.NewGroundTruthProber(t.W, q.rt.Cl.Platforms, q.rng.Stream("reprobe/"+t.W.ID))
 	st.est = q.engine.Reclassify(t.W, prober)
 }
@@ -629,6 +705,10 @@ func (q *Quasar) proactiveProbe(now float64) {
 			if old > 0 && math.Abs(fresh-old)/math.Max(old, 0.05) > 0.35 {
 				changed++
 			}
+		}
+		if q.tracer.Enabled() {
+			q.tracer.Instant(workloadTrack(t.W.ID), "quasar", "proactive-probe",
+				obs.Arg{Key: "changed_resources", Val: changed})
 		}
 		if changed >= 2 {
 			q.reclassify(t, st, "proactive")

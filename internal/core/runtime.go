@@ -13,6 +13,7 @@ import (
 	"quasar/internal/cluster"
 	"quasar/internal/loadgen"
 	"quasar/internal/metrics"
+	"quasar/internal/obs"
 	"quasar/internal/perfmodel"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
@@ -79,6 +80,7 @@ type Task struct {
 	PeakCores int
 
 	placements map[int]*cluster.Placement // by server ID
+	qosState   int8                       // 0 unknown, 1 meeting QoS, -1 missing (trace edge detection)
 }
 
 // Servers returns the IDs of servers currently hosting the task, ascending.
@@ -140,6 +142,11 @@ type Runtime struct {
 	Cl  *cluster.Cluster
 	RNG *sim.RNG
 
+	// Trace, when non-nil, receives task-lifecycle events: submissions,
+	// per-server placement spans, resizes, evictions, completions, and QoS
+	// transitions. All emission happens on the sim goroutine.
+	Trace *obs.Tracer
+
 	opts    Options
 	manager Manager
 
@@ -179,6 +186,42 @@ func NewRuntime(cl *cluster.Cluster, opts Options) *Runtime {
 	return rt
 }
 
+// SetTracer installs the tracer and registers the runtime's utilization
+// containers with its metrics registry.
+func (rt *Runtime) SetTracer(tr *obs.Tracer) {
+	rt.Trace = tr
+	if reg := tr.Registry(); reg != nil {
+		reg.Series("cluster_alloc_cores_frac", "fraction of cluster cores allocated", &rt.AllocSeries)
+		reg.Series("cluster_used_cores_frac", "fraction of cluster cores actually used", &rt.UsedSeries)
+		reg.Heatmap("server_cpu_util", "per-server CPU utilization", rt.CPUHeat)
+		reg.Heatmap("server_mem_util", "per-server memory utilization", rt.MemHeat)
+		reg.Heatmap("server_disk_util", "per-server disk utilization", rt.DiskHeat)
+		reg.Gauge("sim_events_fired", "discrete events fired by the engine",
+			func() float64 { return float64(rt.Eng.Fired()) })
+		reg.Gauge("tasks_total", "tasks submitted", func() float64 { return float64(len(rt.order)) })
+		reg.Gauge("tasks_running", "tasks currently running", func() float64 {
+			n := 0
+			for _, id := range rt.order {
+				if rt.tasks[id].Status == StatusRunning {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
+}
+
+// spanID names the placement span of a workload on a server; placements on
+// one server track overlap across workloads, so they are async spans keyed by
+// this ID.
+func spanID(workloadID string, serverID int) string {
+	return fmt.Sprintf("%s@%d", workloadID, serverID)
+}
+
+func serverTrack(serverID int) string { return fmt.Sprintf("server/%d", serverID) }
+
+func workloadTrack(workloadID string) string { return "workload/" + workloadID }
+
 // SetManager installs the decision-maker and (re)starts the tick loops.
 // Installing a new manager mid-run (a master failover) replaces the old
 // one's loops cleanly.
@@ -211,7 +254,14 @@ func (rt *Runtime) Submit(w *workload.Instance, at float64, load loadgen.Pattern
 	}
 	rt.tasks[w.ID] = t
 	rt.order = append(rt.order, w.ID)
-	rt.Eng.Schedule(at, func() { rt.manager.OnSubmit(t) })
+	rt.Eng.Schedule(at, func() {
+		if rt.Trace.Enabled() {
+			rt.Trace.Instant(workloadTrack(w.ID), "lifecycle", "submit",
+				obs.Arg{Key: "type", Val: w.Type.String()},
+				obs.Arg{Key: "best_effort", Val: w.BestEffort})
+		}
+		rt.manager.OnSubmit(t)
+	})
 	return t
 }
 
@@ -244,6 +294,13 @@ func (rt *Runtime) Place(t *Task, server *cluster.Server, alloc cluster.Alloc) e
 		t.Status = StatusRunning
 		t.StartAt = rt.Eng.Now()
 	}
+	if rt.Trace.Enabled() {
+		rt.Trace.BeginAsync(spanID(t.W.ID, server.ID), serverTrack(server.ID), "placement", t.W.ID,
+			obs.Arg{Key: "cores", Val: alloc.Cores},
+			obs.Arg{Key: "mem_gb", Val: alloc.MemoryGB},
+			obs.Arg{Key: "platform", Val: server.Platform.Name},
+			obs.Arg{Key: "best_effort", Val: t.W.BestEffort})
+	}
 	return nil
 }
 
@@ -252,6 +309,12 @@ func (rt *Runtime) Resize(t *Task, server *cluster.Server, alloc cluster.Alloc) 
 	caused := t.W.CausedPressure(server.Platform, alloc)
 	if err := server.Resize(t.W.ID, alloc, caused); err != nil {
 		return err
+	}
+	if rt.Trace.Enabled() {
+		rt.Trace.Instant(serverTrack(server.ID), "placement", "resize",
+			obs.Arg{Key: "workload", Val: t.W.ID},
+			obs.Arg{Key: "cores", Val: alloc.Cores},
+			obs.Arg{Key: "mem_gb", Val: alloc.MemoryGB})
 	}
 	return nil
 }
@@ -266,6 +329,9 @@ func (rt *Runtime) RemoveNode(t *Task, serverID int) error {
 		return err
 	}
 	delete(t.placements, serverID)
+	if rt.Trace.Enabled() {
+		rt.Trace.EndAsync(spanID(t.W.ID, serverID), serverTrack(serverID), "placement", t.W.ID)
+	}
 	return nil
 }
 
@@ -289,6 +355,10 @@ func (rt *Runtime) Evict(id string) error {
 	}
 	rt.Release(t)
 	t.Status = StatusQueued
+	if rt.Trace.Enabled() {
+		rt.Trace.Instant(workloadTrack(id), "lifecycle", "evict")
+		rt.Trace.Registry().Counter("evictions_total", "best-effort evictions").Inc()
+	}
 	rt.manager.OnEvicted(t)
 	return nil
 }
@@ -394,6 +464,11 @@ func (rt *Runtime) tickBatch(t *Task, now, dt float64) {
 		t.Status = StatusCompleted
 		t.DoneAt = now
 		rt.Release(t)
+		if rt.Trace.Enabled() {
+			rt.Trace.Instant(workloadTrack(t.W.ID), "lifecycle", "complete",
+				obs.Arg{Key: "runtime_secs", Val: now - t.StartAt})
+			rt.Trace.Registry().Counter("batch_completions_total", "batch workloads completed").Inc()
+		}
 		rt.manager.OnComplete(t)
 	}
 }
@@ -423,6 +498,26 @@ func (rt *Runtime) tickService(t *Task, now float64) {
 		met = math.Min(met, capQPS/lambda)
 	}
 	t.QoSFrac.Add(now, met)
+	if rt.Trace.Enabled() {
+		// Emit only the met<->miss edges, not one event per tick.
+		state := int8(1)
+		if met < 0.95 {
+			state = -1
+		}
+		if state != t.qosState {
+			name := "qos-met"
+			if state < 0 {
+				name = "qos-miss"
+				rt.Trace.Registry().Counter("qos_misses_total", "QoS met->miss transitions").Inc()
+			}
+			rt.Trace.Instant(workloadTrack(t.W.ID), "qos", name,
+				obs.Arg{Key: "met_frac", Val: met},
+				obs.Arg{Key: "offered_qps", Val: lambda},
+				obs.Arg{Key: "capacity_qps", Val: capQPS},
+				obs.Arg{Key: "p99_us", Val: p99})
+			t.qosState = state
+		}
+	}
 
 	loadFactor := 0.0
 	if capQPS > 0 {
@@ -454,6 +549,11 @@ func (rt *Runtime) sample(now float64) {
 	total := float64(rt.Cl.TotalCores())
 	rt.AllocSeries.Add(now, allocCores/total)
 	rt.UsedSeries.Add(now, usedCores/total)
+	if rt.Trace.Enabled() {
+		rt.Trace.Counter("cluster", "util", "cores",
+			obs.Arg{Key: "alloc", Val: allocCores / total},
+			obs.Arg{Key: "used", Val: usedCores / total})
+	}
 }
 
 // Run advances the simulation until the given virtual time.

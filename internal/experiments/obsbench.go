@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+
+	"quasar/internal/loadgen"
+	"quasar/internal/perfmodel"
+	"quasar/internal/workload"
+)
+
+// ObsBenchConfig sizes the tracer-overhead benchmark: one Table 2-sized
+// Quasar run with the tracer off and one with it on, timed on the wall clock.
+type ObsBenchConfig struct {
+	Hadoop, Spark, Storm int
+	Services             int
+	SingleNode           int
+	BestEffort           int
+	HorizonSecs          float64
+	Seed                 int64
+	// Repeats takes the minimum wall time over this many runs per mode to
+	// damp scheduler noise (default 3).
+	Repeats int
+}
+
+// DefaultObsBenchConfig returns a Table 2-sized mix.
+func DefaultObsBenchConfig() ObsBenchConfig {
+	return ObsBenchConfig{
+		Hadoop: 4, Spark: 2, Storm: 2, Services: 4, SingleNode: 20, BestEffort: 30,
+		HorizonSecs: 12000, Seed: 7, Repeats: 3,
+	}
+}
+
+// ObsBenchResult is the tracer-overhead record committed as BENCH_obs.json.
+// Timings come from the wall clock, so only OverheadFrac is meaningful
+// across hosts; the event count is deterministic.
+type ObsBenchResult struct {
+	CPUs         int     `json:"cpus"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Repeats      int     `json:"repeats"`
+	Workloads    int     `json:"workloads"`
+	HorizonSecs  float64 `json:"horizon_secs"`
+	OffSecs      float64 `json:"tracer_off_secs"`
+	OnSecs       float64 `json:"tracer_on_secs"`
+	OverheadFrac float64 `json:"overhead_frac"`
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// obsBenchRun executes one full scenario and returns it (for event counts).
+func obsBenchRun(cfg ObsBenchConfig, traced bool) (*Scenario, error) {
+	s, err := NewScenario(ScenarioConfig{
+		Cluster: Local40, Manager: KindQuasar, Seed: cfg.Seed,
+		MaxNodes: 4, SeedLib: 3, Trace: traced,
+	})
+	if err != nil {
+		return nil, err
+	}
+	at := 0.0
+	submit := func(spec workload.Spec) {
+		w := s.U.New(spec)
+		var load loadgen.Pattern
+		if w.Type.Class() == perfmodel.LatencyCritical {
+			load = loadgen.Fluctuating{Min: 0.4 * w.Target.QPS, Max: 0.9 * w.Target.QPS, Period: 6000}
+		}
+		s.RT.Submit(w, at, load)
+		at += 5
+	}
+	for i := 0; i < cfg.Hadoop; i++ {
+		submit(workload.Spec{Type: workload.Hadoop, Family: i % 3, MaxNodes: 3, TargetSlack: 1.2,
+			Dataset: workload.Dataset{Name: "bench", SizeGB: 20, WorkMult: 1.5, MemMult: 1}})
+	}
+	for i := 0; i < cfg.Spark; i++ {
+		submit(workload.Spec{Type: workload.Spark, Family: i % 3, MaxNodes: 3, TargetSlack: 1.2,
+			Dataset: workload.Dataset{Name: "bench", SizeGB: 20, WorkMult: 4, MemMult: 1}})
+	}
+	for i := 0; i < cfg.Storm; i++ {
+		submit(workload.Spec{Type: workload.Storm, Family: i % 3, MaxNodes: 3, TargetSlack: 1.2,
+			Dataset: workload.Dataset{Name: "bench", SizeGB: 20, WorkMult: 6, MemMult: 1}})
+	}
+	svcTypes := []workload.Type{workload.Webserver, workload.Memcached, workload.Cassandra}
+	for i := 0; i < cfg.Services; i++ {
+		submit(workload.Spec{Type: svcTypes[i%3], Family: -1, MaxNodes: 3})
+	}
+	for i := 0; i < cfg.SingleNode; i++ {
+		submit(workload.Spec{Type: workload.SingleNode, Family: -1, TargetSlack: 1.3})
+	}
+	for i := 0; i < cfg.BestEffort; i++ {
+		submit(workload.Spec{Type: workload.SingleNode, Family: -1, BestEffort: true})
+	}
+	s.RT.Run(cfg.HorizonSecs)
+	s.RT.Stop()
+	return s, nil
+}
+
+// ObsBench measures the tracer's overhead: minimum-of-Repeats wall time with
+// the tracer off vs on, plus the (deterministic) event volume of the traced
+// run.
+func ObsBench(cfg ObsBenchConfig) (*ObsBenchResult, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 3
+	}
+	res := &ObsBenchResult{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Repeats:    cfg.Repeats,
+		Workloads: cfg.Hadoop + cfg.Spark + cfg.Storm + cfg.Services +
+			cfg.SingleNode + cfg.BestEffort,
+		HorizonSecs: cfg.HorizonSecs,
+	}
+	timeRun := func(traced bool) (float64, *Scenario, error) {
+		best := 0.0
+		var last *Scenario
+		for i := 0; i < cfg.Repeats; i++ {
+			start := wallClock()
+			s, err := obsBenchRun(cfg, traced)
+			elapsed := wallClock().Sub(start).Seconds()
+			if err != nil {
+				return 0, nil, err
+			}
+			if i == 0 || elapsed < best {
+				best = elapsed
+			}
+			last = s
+		}
+		return best, last, nil
+	}
+	off, _, err := timeRun(false)
+	if err != nil {
+		return nil, err
+	}
+	on, traced, err := timeRun(true)
+	if err != nil {
+		return nil, err
+	}
+	res.OffSecs, res.OnSecs = off, on
+	if off > 0 {
+		res.OverheadFrac = (on - off) / off
+	}
+	res.Events = traced.Tracer.Len()
+	if on > 0 {
+		res.EventsPerSec = float64(res.Events) / on
+	}
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *ObsBenchResult) Print(w io.Writer) {
+	fprintf(w, "== Tracer overhead benchmark (%d CPUs, min of %d) ==\n", r.CPUs, r.Repeats)
+	fprintf(w, "%d workloads, %.0fs horizon\n", r.Workloads, r.HorizonSecs)
+	fprintf(w, "tracer off: %8.3fs\n", r.OffSecs)
+	fprintf(w, "tracer on:  %8.3fs  (%+.1f%% overhead)\n", r.OnSecs, 100*r.OverheadFrac)
+	fprintf(w, "events: %d (%.0f events/sec of bench wall time)\n", r.Events, r.EventsPerSec)
+}
+
+// WriteJSON writes the result to path.
+func (r *ObsBenchResult) WriteJSON(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestObsBenchOverheadBounded asserts the tracer stays allocation-light: a
+// fully traced run must cost under ~10% extra wall time over an untraced
+// one. Wall-clock measurements jitter under load, so the bench takes the
+// minimum of several repeats and the test allows a few attempts before
+// declaring the overhead real.
+func TestObsBenchOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	cfg := ObsBenchConfig{
+		Hadoop: 2, Spark: 1, Storm: 1, Services: 2, SingleNode: 6, BestEffort: 8,
+		HorizonSecs: 4000, Seed: 7, Repeats: 3,
+	}
+	const limit = 0.10
+	var res *ObsBenchResult
+	for attempt := 0; attempt < 3; attempt++ {
+		var err error
+		res, err = ObsBench(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Events == 0 {
+			t.Fatal("traced run produced no events")
+		}
+		if res.OverheadFrac < limit {
+			return
+		}
+		t.Logf("attempt %d: overhead %.1f%% above %.0f%% limit, retrying",
+			attempt+1, 100*res.OverheadFrac, 100*limit)
+	}
+	t.Fatalf("tracer overhead %.1f%% exceeds %.0f%% (off %.3fs, on %.3fs, %d events)",
+		100*res.OverheadFrac, 100*limit, res.OffSecs, res.OnSecs, res.Events)
+}

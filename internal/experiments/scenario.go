@@ -14,6 +14,7 @@ import (
 	"quasar/internal/classify"
 	"quasar/internal/cluster"
 	"quasar/internal/core"
+	"quasar/internal/obs"
 	"quasar/internal/perfmodel"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
@@ -92,6 +93,10 @@ type Scenario struct {
 	U   *workload.Universe
 	Mgr core.Manager
 	Q   *core.Quasar // nil for baselines
+
+	// Tracer is non-nil when the scenario was built with Trace set; it
+	// collects the run's full event log and metrics registry.
+	Tracer *obs.Tracer
 }
 
 // ScenarioConfig configures scenario assembly.
@@ -104,6 +109,7 @@ type ScenarioConfig struct {
 	SeedLib     int  // offline-library workloads per type (default 3)
 	MaxNodes    int  // per-job scale-out bound
 	Misestimate bool // reservation misestimation for baseline kinds
+	Trace       bool // collect a structured event trace of the run
 }
 
 // NewScenario builds the world.
@@ -128,6 +134,9 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	u := workload.NewUniverse(cl.Platforms, cfg.Seed+1000, 3)
 
 	s := &Scenario{RT: rt, U: u}
+	if cfg.Trace {
+		s.Tracer = obs.New(rt.Eng.Now)
+	}
 	lib := libraryFor(u, cfg.SeedLib)
 	switch cfg.Manager {
 	case KindQuasar:
@@ -136,6 +145,9 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		opts.Classify.MaxNodes = maxInt(32, cfg.MaxNodes)
 		opts.Classify.Entries = 3
 		q := core.NewQuasar(rt, opts)
+		if s.Tracer != nil {
+			q.SetTracer(s.Tracer)
+		}
 		q.SeedLibrary(lib)
 		s.Mgr, s.Q = q, q
 	case KindMesosDRF:
@@ -146,6 +158,11 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 			seedBaselineEngine(b.Engine(), lib, cl.Platforms, cfg.Seed)
 		}
 		s.Mgr = b
+	}
+	if s.Tracer != nil && s.Q == nil {
+		// Baselines have no scheduler/classifier hooks; lifecycle events
+		// from the runtime are still traced.
+		rt.SetTracer(s.Tracer)
 	}
 	rt.SetManager(s.Mgr)
 	return s, nil

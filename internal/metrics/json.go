@@ -1,0 +1,76 @@
+package metrics
+
+import "encoding/json"
+
+// JSON marshalling for the measurement containers. The wire shapes are
+// explicit DTO structs (field order is the declaration order, so output is
+// byte-stable) and round-trip: Unmarshal(Marshal(x)) reproduces x's
+// observable state. The obs exporters embed these in JSONL logs and decode
+// them back in analysis tooling.
+
+// seriesJSON is the wire shape of a Series.
+type seriesJSON struct {
+	Name  string    `json:"name"`
+	Times []float64 `json:"times"`
+	Vals  []float64 `json:"vals"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesJSON{Name: s.Name, Times: s.Times, Vals: s.Vals})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var w seriesJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	s.Name, s.Times, s.Vals = w.Name, w.Times, w.Vals
+	return nil
+}
+
+// distributionJSON is the wire shape of a Distribution. Samples are written
+// in their current storage order; a Distribution that has answered a
+// percentile query stores them sorted, which is itself deterministic.
+type distributionJSON struct {
+	Vals []float64 `json:"vals"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d *Distribution) MarshalJSON() ([]byte, error) {
+	return json.Marshal(distributionJSON{Vals: d.vals})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Distribution) UnmarshalJSON(data []byte) error {
+	var w distributionJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	d.vals = w.Vals
+	d.sorted = false
+	return nil
+}
+
+// heatmapJSON is the wire shape of a Heatmap.
+type heatmapJSON struct {
+	Rows  int         `json:"rows"`
+	Times []float64   `json:"times"`
+	Cells [][]float64 `json:"cells"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Heatmap) MarshalJSON() ([]byte, error) {
+	return json.Marshal(heatmapJSON{Rows: h.Rows, Times: h.Times, Cells: h.Cells})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Heatmap) UnmarshalJSON(data []byte) error {
+	var w heatmapJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.Rows, h.Times, h.Cells = w.Rows, w.Times, w.Cells
+	return nil
+}

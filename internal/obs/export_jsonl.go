@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSONL export is the canonical machine-readable log: one JSON object per
+// line, events first (in sequence order), then one line per registered
+// metrics container. Field order is fixed by DTO struct declaration order and
+// Args marshal as an object in emission order, so the file is byte-identical
+// across runs and worker counts. cmd/quasar-trace reconstructs runs from this
+// format alone.
+
+// argsObject marshals an ordered Arg slice as a JSON object, preserving the
+// emission-site key order.
+type argsObject []Arg
+
+// MarshalJSON implements json.Marshaler.
+func (a argsObject) MarshalJSON() ([]byte, error) {
+	if len(a) == 0 {
+		return []byte("{}"), nil
+	}
+	out := []byte{'{'}
+	for i, kv := range a {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		k, err := json.Marshal(kv.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(kv.Val)
+		if err != nil {
+			return nil, fmt.Errorf("obs: arg %q: %w", kv.Key, err)
+		}
+		out = append(out, k...)
+		out = append(out, ':')
+		out = append(out, v...)
+	}
+	return append(out, '}'), nil
+}
+
+// jsonlEvent is the wire shape of one event line.
+type jsonlEvent struct {
+	Seq   uint64     `json:"seq"`
+	T     float64    `json:"t"`
+	Ph    string     `json:"ph"`
+	ID    string     `json:"id,omitempty"`
+	Cat   string     `json:"cat"`
+	Name  string     `json:"name"`
+	Track string     `json:"track"`
+	Args  argsObject `json:"args"`
+}
+
+// jsonlMetric is the wire shape of one trailing metric line.
+type jsonlMetric struct {
+	Metric string `json:"metric"`
+	Kind   string `json:"kind"`
+	Help   string `json:"help,omitempty"`
+	Value  any    `json:"value"`
+}
+
+// WriteJSONL writes the full trace — events, then registry metrics — to w.
+func WriteJSONL(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.Events() {
+		ev := &t.Events()[i]
+		if err := enc.Encode(jsonlEvent{
+			Seq: ev.Seq, T: ev.Time, Ph: string(ev.Phase), ID: ev.ID,
+			Cat: ev.Cat, Name: ev.Name, Track: ev.Track, Args: argsObject(ev.Args),
+		}); err != nil {
+			return err
+		}
+	}
+	if reg := t.Registry(); reg != nil {
+		for i := range reg.entries {
+			e := &reg.entries[i]
+			m := jsonlMetric{Metric: e.name, Help: e.help}
+			switch e.kind {
+			case kindCounter:
+				m.Kind, m.Value = "counter", e.counter.Value()
+			case kindGauge:
+				m.Kind, m.Value = "gauge", e.gauge()
+			case kindSeries:
+				m.Kind, m.Value = "series", e.series
+			case kindDistribution:
+				m.Kind, m.Value = "distribution", e.dist
+			case kindHeatmap:
+				m.Kind, m.Value = "heatmap", e.heat
+			}
+			if err := enc.Encode(m); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RawEvent is the decoded form of one JSONL event line, with the payload left
+// raw for callers to project into typed decision structs.
+type RawEvent struct {
+	Seq   uint64          `json:"seq"`
+	T     float64         `json:"t"`
+	Ph    string          `json:"ph"`
+	ID    string          `json:"id"`
+	Cat   string          `json:"cat"`
+	Name  string          `json:"name"`
+	Track string          `json:"track"`
+	Args  json.RawMessage `json:"args"`
+}
+
+// ReadJSONL parses a JSONL trace, returning events and skipping the trailing
+// metric lines (lines without a "seq" field).
+func ReadJSONL(r io.Reader) ([]RawEvent, error) {
+	var out []RawEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev RawEvent
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		if ev.Seq == 0 {
+			continue // metric line
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The Prometheus export is a point-in-time text snapshot of the registry in
+// the exposition format: # HELP / # TYPE headers followed by samples, walked
+// in registration order. Series export their last value, mean, and point
+// count; distributions export summary quantiles; heatmaps their overall
+// mean. Wall-clock scrape loops do not exist in the simulation — the snapshot
+// is taken once, at the sim time the caller chooses (normally end of run).
+
+// promFloat renders a value the way Prometheus expects (NaN for empty
+// distributions stays literal "NaN").
+func promFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName sanitizes a metric name to the [a-zA-Z_:][a-zA-Z0-9_:]* charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			_, _ = b.WriteRune(r)
+		} else {
+			_ = b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePromSnapshot writes the registry snapshot, plus the tracer's own
+// event totals, to w.
+func WritePromSnapshot(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	head := func(name, help, typ string) {
+		if help != "" {
+			_, _ = fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+		}
+		_, _ = fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+	}
+	sample := func(name, labels string, v float64) {
+		_, _ = fmt.Fprintf(bw, "%s%s %s\n", name, labels, promFloat(v))
+	}
+
+	head("obs_events_total", "trace events recorded", "counter")
+	sample("obs_events_total", "", float64(t.Len()))
+
+	if reg := t.Registry(); reg != nil {
+		for i := range reg.entries {
+			e := &reg.entries[i]
+			name := promName(e.name)
+			switch e.kind {
+			case kindCounter:
+				head(name, e.help, "counter")
+				sample(name, "", e.counter.Value())
+			case kindGauge:
+				head(name, e.help, "gauge")
+				sample(name, "", e.gauge())
+			case kindSeries:
+				head(name, e.help, "gauge")
+				last := 0.0
+				if n := e.series.Len(); n > 0 {
+					last = e.series.Vals[n-1]
+				}
+				sample(name+"_last", "", last)
+				sample(name+"_mean", "", e.series.Mean())
+				sample(name+"_points", "", float64(e.series.Len()))
+			case kindDistribution:
+				head(name, e.help, "summary")
+				for _, q := range []float64{50, 90, 99} {
+					sample(name, fmt.Sprintf(`{quantile="0.%d"}`, int(q)), e.dist.Percentile(q))
+				}
+				sample(name+"_count", "", float64(e.dist.N()))
+			case kindHeatmap:
+				head(name, e.help, "gauge")
+				sample(name+"_mean", "", e.heat.MeanOverall())
+				sample(name+"_rows", "", float64(e.heat.Rows))
+				sample(name+"_samples", "", float64(len(e.heat.Times)))
+			}
+		}
+	}
+	return bw.Flush()
+}

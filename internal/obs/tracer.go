@@ -1,0 +1,226 @@
+// Package obs is the observability subsystem: a deterministic, zero-wall-clock
+// structured event tracer plus a counters/gauges registry, with exporters for
+// JSONL event logs, Chrome trace_event JSON, and Prometheus-style text
+// snapshots.
+//
+// Determinism contract. Events are timestamped on the simulation clock (an
+// injected func() float64, normally sim.Engine.Now) and carry a sequence
+// number assigned at emission. All emission happens either on the simulation
+// goroutine — the discrete-event engine fires events one at a time, so calls
+// arrive in a fixed order — or through Shards, the fan-out discipline that
+// buffers per-task events and merges them in input order (mirroring
+// internal/par and sim.RNG.Substreams). Under those two rules the event
+// stream, and therefore every exporter's output, is byte-identical for any
+// -workers count.
+//
+// Cost contract. A nil *Tracer is the off state: every method is nil-safe and
+// returns immediately, so instrumented code pays one pointer test per site and
+// allocates nothing. Call sites that assemble argument payloads must guard
+// them with Enabled().
+package obs
+
+import "sort"
+
+// Arg is one key/value pair of an event payload. Payloads are ordered slices,
+// never maps, so serialization order is part of the emission site, not of Go's
+// randomized map iteration.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Event phases, mirroring the Chrome trace_event vocabulary: sync spans must
+// nest within a track, async spans (placements that overlap arbitrarily on a
+// server) are paired by ID, instants and counters stand alone.
+const (
+	PhaseInstant    = 'i'
+	PhaseBegin      = 'B'
+	PhaseEnd        = 'E'
+	PhaseAsyncBegin = 'b'
+	PhaseAsyncEnd   = 'e'
+	PhaseCounter    = 'C'
+)
+
+// Event is one trace record.
+type Event struct {
+	// Seq is the stable, contiguous emission sequence number (from 1).
+	Seq uint64
+	// Time is the simulation clock reading at emission, in seconds.
+	Time float64
+	// Phase is one of the Phase constants.
+	Phase byte
+	// ID pairs async begin/end events; empty otherwise.
+	ID string
+	// Cat groups related event names (e.g. "sched", "runtime", "classify").
+	Cat string
+	// Name identifies the event type (e.g. "sched.schedule").
+	Name string
+	// Track is the timeline the event belongs to: "server/3", "workload/x",
+	// or a singleton like "manager".
+	Track string
+	// Args is the ordered payload.
+	Args []Arg
+}
+
+// Tracer accumulates events against an injected simulation clock. The zero
+// value is not usable; use New. A nil Tracer is the disabled state.
+type Tracer struct {
+	clock  func() float64
+	events []Event
+	seq    uint64
+	reg    *Registry
+}
+
+// New returns a tracer reading timestamps from clock. A nil clock pins every
+// event to t=0 (useful for tests and offline studies that pass explicit
+// times).
+func New(clock func() float64) *Tracer {
+	return &Tracer{clock: clock, reg: NewRegistry()}
+}
+
+// Enabled reports whether the tracer records events. It is the guard for
+// building argument payloads at instrumentation sites.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Registry returns the tracer's counters/gauges registry (nil for a nil
+// tracer; Registry methods are nil-safe in turn).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// now reads the clock.
+func (t *Tracer) now() float64 {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// emit appends one event with the next sequence number.
+func (t *Tracer) emit(tm float64, phase byte, id, track, cat, name string, args []Arg) {
+	t.seq++
+	t.events = append(t.events, Event{
+		Seq: t.seq, Time: tm, Phase: phase, ID: id,
+		Cat: cat, Name: name, Track: track, Args: args,
+	})
+}
+
+// Instant records a standalone event at the current sim time.
+func (t *Tracer) Instant(track, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(t.now(), PhaseInstant, "", track, cat, name, args)
+}
+
+// InstantAt records a standalone event at an explicit time, for studies that
+// run their own local clock (e.g. the straggler study's fixed-step grid).
+func (t *Tracer) InstantAt(tm float64, track, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(tm, PhaseInstant, "", track, cat, name, args)
+}
+
+// Begin opens a synchronous span on a track. Sync spans must strictly nest
+// per track; use BeginAsync for overlapping intervals.
+func (t *Tracer) Begin(track, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(t.now(), PhaseBegin, "", track, cat, name, args)
+}
+
+// End closes the innermost open synchronous span with this name on the track.
+func (t *Tracer) End(track, cat, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(t.now(), PhaseEnd, "", track, cat, name, nil)
+}
+
+// BeginAsync opens an async span; id pairs it with its EndAsync. Async spans
+// may overlap freely on a track (a server hosting several placements).
+func (t *Tracer) BeginAsync(id, track, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(t.now(), PhaseAsyncBegin, id, track, cat, name, args)
+}
+
+// EndAsync closes the async span opened under id.
+func (t *Tracer) EndAsync(id, track, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(t.now(), PhaseAsyncEnd, id, track, cat, name, args)
+}
+
+// Counter records sampled numeric values on a track; Chrome renders counter
+// events as stacked area charts.
+func (t *Tracer) Counter(track, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit(t.now(), PhaseCounter, "", track, cat, name, args)
+}
+
+// Len returns the number of recorded events (0 for a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in emission order. The slice is the
+// tracer's backing store; callers must not mutate it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Tracks returns every track name in order of first appearance. Servers and
+// workloads each get their own track, which is what gives the Chrome export
+// one row per server and one per workload.
+func (t *Tracer) Tracks() []string {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool, 16)
+	var out []string
+	for i := range t.events {
+		tr := t.events[i].Track
+		if !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// EventCountsByName returns (name, count) pairs sorted by name, for summary
+// reporting.
+func (t *Tracer) EventCountsByName() (names []string, counts []int) {
+	if t == nil {
+		return nil, nil
+	}
+	m := make(map[string]int, 32)
+	for i := range t.events {
+		m[t.events[i].Name]++
+	}
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counts = make([]int, len(names))
+	for i, name := range names {
+		counts[i] = m[name]
+	}
+	return names, counts
+}

@@ -14,6 +14,7 @@ import (
 
 	"quasar/internal/classify"
 	"quasar/internal/cluster"
+	"quasar/internal/obs"
 	"quasar/internal/workload"
 )
 
@@ -103,6 +104,10 @@ func DefaultOptions() Options {
 type Scheduler struct {
 	Cluster *cluster.Cluster
 	Opts    Options
+
+	// Tracer, when non-nil, receives one decision event per Schedule call
+	// carrying the full candidate ranking and the chosen assignment.
+	Tracer *obs.Tracer
 }
 
 // New returns a scheduler.
@@ -129,6 +134,9 @@ type candidate struct {
 	pidx      int
 	quality   float64
 	freeCores int
+	freeMem   float64
+	pressure  float64 // max interference pressure the server puts on this workload
+	compat    bool
 	evictable []*cluster.Placement // best-effort residents
 }
 
@@ -170,14 +178,17 @@ func (s *Scheduler) rank(req *Request) []candidate {
 			whole := cluster.Alloc{Cores: srv.Platform.Cores, MemoryGB: srv.Platform.MemoryGB}
 			quality = req.Est.NodePerf(pidx, whole, pressure)
 		}
-		if !s.compatible(req, srv) {
+		compat := s.compatible(req, srv)
+		if !compat {
 			// Penalize rather than exclude: a colocation that would hurt
 			// residents is a last resort.
 			quality *= 0.05
 		}
 		cands = append(cands, candidate{
 			server: srv, pidx: pidx, quality: quality,
-			freeCores: cores, evictable: evictable,
+			freeCores: cores, freeMem: mem,
+			pressure: srv.PressureOn(req.W.ID).Max(), compat: compat,
+			evictable: evictable,
 		})
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -305,11 +316,49 @@ func (s *Scheduler) rightSizeAlloc(req *Request, cand candidate, want float64) (
 	return opts[len(opts)-1].alloc, opts[len(opts)-1].perf
 }
 
+// emitDecision records the full Schedule outcome — every ranked candidate's
+// inputs plus the picks — on the tracer. It is only called when the tracer is
+// enabled, so callers on the hot path pay a single nil check.
+func (s *Scheduler) emitDecision(req *Request, want float64, cands []candidate, asn *Assignment, outcome string) {
+	d := obs.ScheduleDecision{
+		Workload: req.W.ID, NeedPerf: req.NeedPerf, Want: want,
+		MaxNodes: req.MaxNodes, AcceptPartial: req.AcceptPartial,
+		MaxCost: req.MaxCostPerHour, Outcome: outcome,
+	}
+	picked := map[int]bool{}
+	if asn != nil {
+		d.EstPerf, d.CostPerHour, d.Evictions = asn.EstPerf, asn.CostPerHour, asn.Evictions
+		for _, na := range asn.Nodes {
+			picked[na.Server.ID] = true
+			d.Picks = append(d.Picks, obs.NodePick{
+				Server: na.Server.ID, Cores: na.Alloc.Cores,
+				MemGB: na.Alloc.MemoryGB,
+			})
+		}
+	}
+	for _, c := range cands {
+		d.Candidates = append(d.Candidates, obs.Candidate{
+			Server: c.server.ID, Platform: c.server.Platform.Name,
+			Quality: c.quality, FreeCores: c.freeCores, FreeMemGB: c.freeMem,
+			Evictable: len(c.evictable), Compatible: c.compat,
+			Pressure: c.pressure, Picked: picked[c.server.ID],
+		})
+	}
+	s.Tracer.Instant("manager", "sched", "decision", obs.Arg{Key: "decision", Val: d})
+	s.Tracer.Registry().Counter("sched_decisions_total", "Schedule calls").Inc()
+	if outcome != obs.OutcomePlaced {
+		s.Tracer.Registry().Counter("sched_rejections_total", "Schedule calls rejected by admission control").Inc()
+	}
+}
+
 // Schedule computes an assignment for the request. It does not mutate the
 // cluster; the caller places the returned nodes (after performing the
 // returned evictions).
 func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
 	if req.NeedPerf <= 0 {
+		if s.Tracer.Enabled() {
+			s.emitDecision(req, 0, nil, nil, obs.OutcomeBadRequest)
+		}
 		return nil, fmt.Errorf("sched: request for %s with NeedPerf %v", req.W.ID, req.NeedPerf)
 	}
 	maxNodes := req.MaxNodes
@@ -319,6 +368,9 @@ func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
 	want := req.NeedPerf * s.Opts.PerfMargin
 	cands := s.rank(req)
 	if len(cands) == 0 {
+		if s.Tracer.Enabled() {
+			s.emitDecision(req, want, nil, nil, obs.OutcomeNoCapacity)
+		}
 		return nil, ErrNoCapacity
 	}
 
@@ -394,10 +446,16 @@ func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
 	}
 
 	if len(asn.Nodes) == 0 {
+		if s.Tracer.Enabled() {
+			s.emitDecision(req, want, cands, nil, obs.OutcomeNoCapacity)
+		}
 		return nil, ErrNoCapacity
 	}
 	asn.EstPerf = est(len(asn.Nodes))
 	if !req.AcceptPartial && asn.EstPerf < req.NeedPerf*s.Opts.MinFill {
+		if s.Tracer.Enabled() {
+			s.emitDecision(req, want, cands, asn, obs.OutcomeBelowMinFill)
+		}
 		return nil, ErrNoCapacity
 	}
 
@@ -409,6 +467,9 @@ func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
 		diskSensitive := req.Est.Tol[cluster.ResDiskIO] < 0.5
 		cfg := classify.TunedConfig(first.Alloc.Cores, first.Alloc.MemoryGB, diskSensitive)
 		asn.Config = &cfg
+	}
+	if s.Tracer.Enabled() {
+		s.emitDecision(req, want, cands, asn, obs.OutcomePlaced)
 	}
 	return asn, nil
 }

@@ -66,6 +66,7 @@ type Engine struct {
 	nextSeq uint64
 	nextID  EventID
 	live    map[EventID]*event
+	fired   uint64
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -122,9 +123,14 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.pq).(*event)
 	delete(e.live, ev.id)
 	e.now = ev.at
+	e.fired++
 	ev.fn()
 	return true
 }
+
+// Fired reports the number of events fired since construction (an engine
+// health metric exported by the observability registry).
+func (e *Engine) Fired() uint64 { return e.fired }
 
 // Run fires events until the clock would pass until, or no events remain.
 // The clock finishes exactly at until.
