@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-parallel bench-obs trace-diff fmt-check ci
+.PHONY: all build test race lint bench bench-parallel bench-obs bench-chaos trace-diff trace-diff-chaos fmt-check ci
 
 all: build
 
@@ -35,12 +35,23 @@ bench-parallel:
 bench-obs:
 	$(GO) run ./cmd/quasar-bench -obsbench-out BENCH_obs.json obsbench
 
+## bench-chaos: time a scenario with the detector off vs on vs under the fault storm, refresh BENCH_chaos.json
+bench-chaos:
+	$(GO) run ./cmd/quasar-bench -chaosbench-out BENCH_chaos.json chaosbench
+
 ## trace-diff: assert the trace is byte-identical across worker counts
 trace-diff:
 	$(GO) run ./cmd/quasar-sim -horizon 4000 -workers 1 -trace /tmp/quasar-trace-w1.jsonl >/dev/null
 	$(GO) run ./cmd/quasar-sim -horizon 4000 -workers 4 -trace /tmp/quasar-trace-w4.jsonl >/dev/null
 	cmp /tmp/quasar-trace-w1.jsonl /tmp/quasar-trace-w4.jsonl
 	$(GO) run ./cmd/quasar-trace /tmp/quasar-trace-w1.jsonl
+
+## trace-diff-chaos: same contract under an injected fault storm
+trace-diff-chaos:
+	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 1 -faults internal/chaos/testdata/storm.json -trace /tmp/quasar-chaos-w1.jsonl >/dev/null
+	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 4 -faults internal/chaos/testdata/storm.json -trace /tmp/quasar-chaos-w4.jsonl >/dev/null
+	cmp /tmp/quasar-chaos-w1.jsonl /tmp/quasar-chaos-w4.jsonl
+	$(GO) run ./cmd/quasar-trace /tmp/quasar-chaos-w1.jsonl
 
 ## fmt-check: fail if any file needs gofmt
 fmt-check:

@@ -13,6 +13,12 @@
 // scenario with the tracer off vs on and writes the overhead record to
 // -obsbench-out (default BENCH_obs.json).
 //
+// The "availability" artifact runs the canned fault storm and reports
+// QoS-met %, MTTR, and the displaced-work half-life. The "chaosbench"
+// artifact (not in the default suite) times a scenario with the failure
+// detector off vs on vs under the storm and writes the overhead record to
+// -chaosbench-out (default BENCH_chaos.json).
+//
 // The -quick flag shrinks every scenario (fewer workloads, shorter
 // horizons) for a fast smoke pass.
 package main
@@ -33,6 +39,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for parallel fan-outs (0 = GOMAXPROCS); never changes results")
 	parbenchOut := flag.String("parbench-out", "BENCH_parallel.json", "output path for the parbench artifact")
 	obsbenchOut := flag.String("obsbench-out", "BENCH_obs.json", "output path for the obsbench artifact")
+	chaosbenchOut := flag.String("chaosbench-out", "BENCH_chaos.json", "output path for the chaosbench artifact")
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
 
@@ -40,7 +47,7 @@ func main() {
 	if len(artifacts) == 0 {
 		artifacts = []string{"fig1", "fig2", "table1", "table2", "fig3", "fig5",
 			"table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-			"stragglers", "phases", "overheads", "ablations"}
+			"stragglers", "phases", "overheads", "ablations", "availability"}
 	}
 
 	var fig5res *experiments.Fig5Result // shared by fig5 and table3
@@ -169,6 +176,28 @@ func main() {
 			res := experiments.ParBench(cfg)
 			res.Print(os.Stdout)
 			die(res.WriteJSON(*parbenchOut))
+		case "availability":
+			cfg := experiments.DefaultAvailabilityConfig()
+			if *quick {
+				cfg.Hadoop, cfg.Spark, cfg.Services = 2, 1, 3
+				cfg.SingleNode, cfg.BestEffort = 5, 8
+				cfg.HorizonSecs = 8000
+			}
+			res, err := experiments.Availability(cfg)
+			die(err)
+			res.Print(os.Stdout)
+		case "chaosbench":
+			cfg := experiments.DefaultChaosBenchConfig()
+			if *quick {
+				cfg.Avail.Hadoop, cfg.Avail.Spark, cfg.Avail.Services = 2, 1, 3
+				cfg.Avail.SingleNode, cfg.Avail.BestEffort = 5, 8
+				cfg.Avail.HorizonSecs = 8000
+				cfg.Repeats = 2
+			}
+			res, err := experiments.ChaosBench(cfg)
+			die(err)
+			res.Print(os.Stdout)
+			die(res.WriteJSON(*chaosbenchOut))
 		case "obsbench":
 			cfg := experiments.DefaultObsBenchConfig()
 			if *quick {

@@ -14,6 +14,7 @@ import (
 	"math"
 	"os"
 
+	"quasar/internal/chaos"
 	"quasar/internal/core"
 	"quasar/internal/experiments"
 	"quasar/internal/loadgen"
@@ -39,6 +40,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "per-workload detail")
 		tracePath   = flag.String("trace", "", "write a deterministic trace of the run to this file")
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl | chrome | prom")
+		faultsPath  = flag.String("faults", "", "inject faults from this chaos plan JSON (e.g. internal/chaos/testdata/storm.json)")
 	)
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
@@ -63,6 +65,23 @@ func main() {
 	if err != nil {
 		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+
+	var inj *chaos.Injector
+	if *faultsPath != "" {
+		plan, err := chaos.Load(*faultsPath)
+		if err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		// Armed before any submission, like the availability experiment:
+		// the injector's RNG stream derivation order is part of the
+		// deterministic identity of the run.
+		inj, err = s.AttachFaults(plan, core.DefaultDetectorOptions())
+		if err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 
 	var tasks []*core.Task
@@ -143,6 +162,18 @@ func main() {
 		fmt.Printf("mean %% of target achieved: %.1f%%\n", 100*sum/float64(n))
 	}
 	fmt.Printf("mean CPU utilization: %.1f%%\n", 100*s.RT.CPUHeat.MeanOverall())
+
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Printf("faults: %d crashes, %d slowdowns, %d partitions (%d restarts, %d heals, %d skipped); live servers %d/%d\n",
+			st.Crashes, st.Slowdowns, st.Partitions, st.Restarts, st.Heals, st.Skipped,
+			s.RT.Cl.NumLive(), len(s.RT.Cl.Servers))
+		if s.Q != nil {
+			rec := s.Q.Recovery()
+			fmt.Printf("recovery: %d displaced (%d LC), %d re-admitted (%d without re-profiling), MTTR %.0fs\n",
+				rec.Displaced, rec.DisplacedLC, rec.Readmitted, rec.ReadmittedNoReprofile, rec.MTTR())
+		}
+	}
 }
 
 // writeTrace renders the collected trace in the requested format.

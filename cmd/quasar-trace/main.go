@@ -102,6 +102,9 @@ func summarize(evs []obs.RawEvent) {
 	byName := map[string]int{}
 	workloads, servers := map[string]bool{}, map[string]bool{}
 	decisions, placed := 0, 0
+	chaosCount, detect := map[string]int{}, map[string]int{}
+	readmits, reused, deferred := 0, 0, 0
+	delaySum := 0.0
 	for i := range evs {
 		ev := &evs[i]
 		byName[ev.Name]++
@@ -117,10 +120,43 @@ func summarize(evs []obs.RawEvent) {
 				placed++
 			}
 		}
+		switch ev.Cat {
+		case "chaos":
+			chaosCount[ev.Name]++
+		case "detect":
+			detect[ev.Name]++
+		case "recover":
+			switch ev.Name {
+			case "re-admit":
+				readmits++
+				a := argsOf(ev)
+				if d, ok := a["delay_secs"].(float64); ok {
+					delaySum += d
+				}
+				if r, ok := a["reused_signature"].(bool); ok && r {
+					reused++
+				}
+			case "readmit-defer":
+				deferred++
+			}
+		}
 	}
 	fmt.Printf("events: %d  span: %.0fs..%.0fs\n", len(evs), evs[0].T, evs[len(evs)-1].T)
 	fmt.Printf("workloads: %d  servers touched: %d\n", len(workloads), len(servers))
 	fmt.Printf("schedule decisions: %d (%d placed, %d rejected)\n", decisions, placed, decisions-placed)
+	if len(chaosCount) > 0 || len(detect) > 0 || readmits > 0 || deferred > 0 {
+		fmt.Printf("faults injected: %d crashes, %d slowdowns, %d partitions (%d restarts, %d heals)\n",
+			chaosCount["fault-crash"], chaosCount["fault-slowdown"], chaosCount["fault-partition"],
+			chaosCount["fault-restart"], chaosCount["fault-heal"])
+		fmt.Printf("detector: %d suspected, %d declared dead, %d restored; %d workload displacements\n",
+			detect["hb-suspect"], detect["hb-dead"], detect["hb-restored"], detect["displaced"])
+		fmt.Printf("recovery: %d re-admissions (%d reusing the cached signature), %d deferred",
+			readmits, reused, deferred)
+		if readmits > 0 {
+			fmt.Printf("; MTTR %.0fs", delaySum/float64(readmits))
+		}
+		fmt.Println()
+	}
 	names := make([]string, 0, len(byName))
 	for n := range byName {
 		// Placement spans are named after workloads; fold them into one row.
@@ -151,6 +187,22 @@ func timeline(evs []obs.RawEvent, task string) {
 				ev.T, strings.TrimPrefix(ev.Track, "server/"), a["cores"], a["mem_gb"], a["platform"])
 		case ev.Name == task && ev.Ph == "e":
 			fmt.Printf("%9.1fs  removed from %s\n", ev.T, strings.TrimPrefix(ev.Track, "server/"))
+		case ev.Cat == "detect" && ev.Name == "displaced":
+			a := argsOf(ev)
+			fmt.Printf("%9.1fs  displaced from server %v (%v, %v nodes left)\n",
+				ev.T, a["server"], a["reason"], a["remaining_nodes"])
+		case ev.Cat == "recover" && ev.Name == "re-admit":
+			a := argsOf(ev)
+			sig := "fresh classification"
+			if r, ok := a["reused_signature"].(bool); ok && r {
+				sig = "cached signature, no re-profiling"
+			}
+			fmt.Printf("%9.1fs  re-admitted via %v after %vs (%s, %v nodes)\n",
+				ev.T, a["how"], a["delay_secs"], sig, a["nodes"])
+		case ev.Cat == "recover" && ev.Name == "readmit-defer":
+			a := argsOf(ev)
+			fmt.Printf("%9.1fs  re-admission deferred: cluster degraded (%v live servers, %v free cores)\n",
+				ev.T, a["live_servers"], a["live_free_cores"])
 		default:
 			if d, ok := decisionOf(ev); ok {
 				fmt.Printf("%9.1fs  schedule: %s (need %.3g, %d candidates, picked %v)\n",

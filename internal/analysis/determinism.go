@@ -31,13 +31,19 @@ import (
 //  6. tracer emission on a tracer or shard captured inside a concurrent
 //     function literal — emissions interleave by schedule; derive
 //     per-task shards (Tracer.Shards) before the fan-out, as with RNG
-//     substreams. shards[i].Instant(...) passes.
+//     substreams. shards[i].Instant(...) passes;
+//  7. sim.Engine scheduling (Schedule/After/Ticker) or RNG draws inside a
+//     map-range body — fault plans and other schedules armed in Go's
+//     randomized map order produce a different event sequence (and
+//     consume RNG streams in a different order) every run; iterate a
+//     slice or sorted keys instead.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "flags unseeded global math/rand draws, bare time.Now(), " +
 		"unsorted result accumulation across map iteration, shared-RNG " +
-		"capture in concurrent tasks, and trace emission in map order or " +
-		"across concurrent tasks in simulation code",
+		"capture in concurrent tasks, trace emission in map order or " +
+		"across concurrent tasks, and engine scheduling or RNG draws in " +
+		"map order in simulation code",
 	Scope: []string{
 		"internal/sim",
 		"internal/experiments",
@@ -46,6 +52,7 @@ var Determinism = &Analyzer{
 		"internal/core",
 		"internal/par",
 		"internal/obs",
+		"internal/chaos",
 	},
 	Run: runDeterminism,
 }
@@ -340,6 +347,52 @@ func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
 			"tracer emission inside map iteration lands events in Go's randomized map order; iterate a sorted key slice instead")
 		return true
 	})
+	// Engine scheduling or RNG draws in map order change the simulation's
+	// event sequence (and stream consumption order) run to run: a fault
+	// plan armed this way produces a different fault schedule every time.
+	// Like tracer emission, there is no sort-afterwards escape hatch.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[sel.X]
+		if !ok {
+			return true
+		}
+		switch {
+		case isEngineType(tv.Type) && engineScheduleMethods[sel.Sel.Name]:
+			pass.Reportf(call.Pos(),
+				"sim.Engine.%s inside map iteration arms events in Go's randomized map order; iterate a slice (e.g. the fault list) or sorted keys instead", sel.Sel.Name)
+		case isRNGType(tv.Type):
+			pass.Reportf(call.Pos(),
+				"RNG draw inside map iteration consumes the stream in Go's randomized map order; iterate a slice or sorted keys instead")
+		}
+		return true
+	})
+}
+
+// engineScheduleMethods are the sim.Engine methods that add events to the
+// simulation timeline. Read-only accessors (Now, Pending, Fired) and event
+// removal (Cancel, already-identified) are deliberately absent.
+var engineScheduleMethods = map[string]bool{
+	"Schedule": true, "After": true, "Ticker": true,
+}
+
+// isEngineType reports whether t is (a pointer to) sim.Engine.
+func isEngineType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/sim") && named.Obj().Name() == "Engine"
 }
 
 // isBuiltinAppend reports whether call invokes the append builtin.

@@ -1,0 +1,50 @@
+// Package determinism_chaos_bad is a known-bad fixture for the engine-
+// scheduling and RNG-draw map-order rules of the determinism analyzer:
+// every function arms simulation events or consumes an RNG stream while
+// ranging over a map, so the fault schedule differs run to run.
+package determinism_chaos_bad
+
+import "quasar/internal/sim"
+
+// ArmFaultsFromMap schedules one injection per map entry: the events are
+// armed in Go's randomized iteration order, so sequence numbers (and
+// same-time tie-breaks) differ every run.
+func ArmFaultsFromMap(eng *sim.Engine, at map[string]float64) {
+	for _, t := range at {
+		eng.Schedule(t, func() {})
+	}
+}
+
+// RecoveriesFromMap schedules restarts with After in map order.
+func RecoveriesFromMap(eng *sim.Engine, delays map[int]float64) {
+	for _, d := range delays {
+		eng.After(d, func() {})
+	}
+}
+
+// TickersFromMap starts periodic sources in map order.
+func TickersFromMap(eng *sim.Engine, periods map[string]float64) {
+	for _, p := range periods {
+		_ = eng.Ticker(0, p, func(now float64) {})
+	}
+}
+
+// TargetsFromMap draws fault targets while ranging a map: the stream is
+// consumed in randomized order, so every draw after the loop differs too.
+func TargetsFromMap(rng *sim.RNG, weights map[int]int) int {
+	hits := 0
+	for id := range weights {
+		if rng.Intn(10) > id {
+			hits++
+		}
+	}
+	return hits
+}
+
+// StreamsFromMap derives substreams in map order: derivation mutates the
+// parent generator, so the whole stream tree depends on iteration order.
+func StreamsFromMap(rng *sim.RNG, names map[string]bool) {
+	for name := range names {
+		_ = rng.Stream(name)
+	}
+}

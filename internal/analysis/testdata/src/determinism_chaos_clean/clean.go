@@ -1,0 +1,56 @@
+// Package determinism_chaos_clean is the known-clean counterpart of
+// determinism_chaos_bad: schedules are armed from slices (plan order) or
+// sorted key lists, and RNG substreams derive in slice order.
+package determinism_chaos_clean
+
+import (
+	"sort"
+
+	"quasar/internal/sim"
+)
+
+type fault struct {
+	name string
+	at   float64
+}
+
+// ArmFaultsInPlanOrder arms events by iterating the declarative fault list
+// — a slice, so order is the plan author's, not the map runtime's.
+func ArmFaultsInPlanOrder(eng *sim.Engine, faults []fault) {
+	for _, f := range faults {
+		eng.Schedule(f.at, func() {})
+	}
+}
+
+// ArmFaultsSortedKeys fixes a map-shaped plan by sorting the keys first.
+func ArmFaultsSortedKeys(eng *sim.Engine, at map[string]float64) {
+	keys := make([]string, 0, len(at))
+	for k := range at {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		eng.Schedule(at[k], func() {})
+	}
+}
+
+// DeriveStreamsInPlanOrder derives one substream per fault in list order,
+// then draws from the per-fault stream freely.
+func DeriveStreamsInPlanOrder(eng *sim.Engine, rng *sim.RNG, faults []fault) {
+	for _, f := range faults {
+		sub := rng.Stream(f.name)
+		eng.Schedule(f.at+sub.Exponential(60), func() {})
+	}
+}
+
+// ReadOnlyEngineUseInMapRange shows the rule targets scheduling, not reads:
+// Now and Pending are safe anywhere.
+func ReadOnlyEngineUseInMapRange(eng *sim.Engine, at map[string]float64) float64 {
+	latest := 0.0
+	for _, t := range at {
+		if t > latest && t > eng.Now() && eng.Pending() >= 0 {
+			latest = t
+		}
+	}
+	return latest
+}

@@ -207,7 +207,7 @@ func (b *Baseline) reservation(t *core.Task) (nodes int, alloc cluster.Alloc) {
 func (b *Baseline) rankServers(t *core.Task, st *resState, alloc cluster.Alloc) []*cluster.Server {
 	var servers []*cluster.Server
 	for _, s := range b.rt.Cl.Servers {
-		if s.Placement(t.W.ID) != nil {
+		if !s.Schedulable() || s.Placement(t.W.ID) != nil {
 			continue
 		}
 		fit := cluster.Alloc{
@@ -312,7 +312,7 @@ func (b *Baseline) tryPlace(t *core.Task, st *resState) bool {
 func (b *Baseline) placeBestEffort(t *core.Task) bool {
 	var best *cluster.Server
 	for _, s := range b.rt.Cl.Servers {
-		if s.FreeCores() >= 1 && s.FreeMemGB() >= 1 {
+		if s.Schedulable() && s.FreeCores() >= 1 && s.FreeMemGB() >= 1 {
 			if best == nil || s.FreeCores() > best.FreeCores() {
 				best = s
 			}

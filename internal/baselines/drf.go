@@ -170,7 +170,7 @@ func (d *DRF) allocateRound() {
 func (d *DRF) leastLoadedFitting(st *drfState) *cluster.Server {
 	var best *cluster.Server
 	for _, srv := range d.rt.Cl.Servers {
-		if srv.Placement(st.task.W.ID) != nil {
+		if !srv.Schedulable() || srv.Placement(st.task.W.ID) != nil {
 			continue
 		}
 		if srv.FreeCores() < 1 || srv.FreeMemGB() < 1 {

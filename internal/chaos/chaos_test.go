@@ -1,0 +1,324 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"quasar/internal/sim"
+)
+
+func TestFaultSpecValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    FaultSpec
+		wantErr string
+	}{
+		{"one-shot crash", FaultSpec{Kind: KindCrash, Server: 0, At: 10}, ""},
+		{"permanent crash any server", FaultSpec{Kind: KindCrash, Server: AnyServer, At: 0}, ""},
+		{"recoverable crash", FaultSpec{Kind: KindCrash, Server: 1, At: 5, DurationSecs: 30}, ""},
+		{"periodic slowdown", FaultSpec{Kind: KindSlowdown, Server: AnyServer, At: 10, Every: 100, Count: 3, DurationSecs: 20, Severity: 0.5}, ""},
+		{"rate partition", FaultSpec{Kind: KindPartition, Server: AnyServer, At: 0, RatePerHour: 4, Until: 1000, DurationSecs: 60}, ""},
+
+		{"unknown kind", FaultSpec{Kind: "meteor", Server: 0}, "unknown fault kind"},
+		{"crash with severity", FaultSpec{Kind: KindCrash, Server: 0, Severity: 0.5}, "does not take a severity"},
+		{"slowdown severity zero", FaultSpec{Kind: KindSlowdown, Server: 0, DurationSecs: 10}, "severity must be in (0,1]"},
+		{"slowdown severity above one", FaultSpec{Kind: KindSlowdown, Server: 0, DurationSecs: 10, Severity: 1.5}, "severity must be in (0,1]"},
+		{"slowdown without duration", FaultSpec{Kind: KindSlowdown, Server: 0, Severity: 0.5}, "needs duration_secs"},
+		{"partition without duration", FaultSpec{Kind: KindPartition, Server: 0}, "needs duration_secs"},
+		{"partition with severity", FaultSpec{Kind: KindPartition, Server: 0, DurationSecs: 10, Severity: 0.2}, "does not take a severity"},
+		{"bad server", FaultSpec{Kind: KindCrash, Server: -2}, "invalid server"},
+		{"negative at", FaultSpec{Kind: KindCrash, Server: 0, At: -1}, "at must be >= 0"},
+		{"both arrival modes", FaultSpec{Kind: KindCrash, Server: 0, Every: 10, RatePerHour: 1}, "not both"},
+		{"negative count", FaultSpec{Kind: KindCrash, Server: 0, Every: 10, Count: -1}, "count must be >= 0"},
+		{"count on one-shot", FaultSpec{Kind: KindCrash, Server: 0, Count: 2}, "only apply to periodic or rate"},
+		{"until on one-shot", FaultSpec{Kind: KindCrash, Server: 0, Until: 100}, "only apply to periodic or rate"},
+		{"until before at", FaultSpec{Kind: KindCrash, Server: 0, At: 200, Every: 10, Until: 100}, "must be after at"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (&Plan{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty plan validated")
+	}
+	p := &Plan{Name: "bad", Faults: []FaultSpec{
+		{Kind: KindCrash, Server: 0, At: 1},
+		{Kind: "meteor", Server: 0},
+	}}
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "fault 1") {
+		t.Errorf("plan error should name the offending fault index, got %v", err)
+	}
+}
+
+func TestParseDefaultsAndUnknownFields(t *testing.T) {
+	p, err := Parse(strings.NewReader(`{"name":"x","faults":[{"kind":"crash","at":10}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Faults[0].Server != AnyServer {
+		t.Errorf("omitted server = %d, want AnyServer (%d)", p.Faults[0].Server, AnyServer)
+	}
+	if _, err := Parse(strings.NewReader(`{"name":"x","faults":[{"kind":"crash","at":10,"sevrity":0.5}]}`)); err == nil {
+		t.Error("misspelled field parsed without error")
+	}
+	if _, err := Parse(strings.NewReader(`{"name":"x","faults":[{"kind":"crash","severity":1}]}`)); err == nil {
+		t.Error("invalid plan parsed without error")
+	}
+}
+
+// TestStormFileMatchesDefaultPlan keeps testdata/storm.json (used by the
+// trace-diff-chaos make target and the README example) in sync with
+// DefaultStormPlan (used by the availability experiment).
+func TestStormFileMatchesDefaultPlan(t *testing.T) {
+	fromFile, err := Load("testdata/storm.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DefaultStormPlan(); !reflect.DeepEqual(fromFile, want) {
+		t.Errorf("testdata/storm.json diverged from DefaultStormPlan():\n file: %+v\n code: %+v", fromFile, want)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("testdata/no-such-plan.json"); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}
+
+// fakeWorld records every World call in order; per-server up/slow/partition
+// state makes the no-op semantics observable.
+type fakeWorld struct {
+	n           int
+	log         []string
+	down        map[int]bool
+	slowed      map[int]bool
+	partitioned map[int]bool
+}
+
+func newFakeWorld(n int) *fakeWorld {
+	return &fakeWorld{
+		n: n, down: map[int]bool{}, slowed: map[int]bool{}, partitioned: map[int]bool{},
+	}
+}
+
+func (w *fakeWorld) record(format string, args ...any) {
+	w.log = append(w.log, fmt.Sprintf(format, args...))
+}
+
+func (w *fakeWorld) NumServers() int { return w.n }
+
+func (w *fakeWorld) CrashServer(id int) bool {
+	if w.down[id] {
+		return false
+	}
+	w.down[id] = true
+	w.record("crash %d", id)
+	return true
+}
+
+func (w *fakeWorld) RestartServer(id int) bool {
+	if !w.down[id] {
+		return false
+	}
+	w.down[id] = false
+	w.record("restart %d", id)
+	return true
+}
+
+func (w *fakeWorld) SlowServer(id int, severity float64) bool {
+	if w.down[id] || w.slowed[id] {
+		return false
+	}
+	w.slowed[id] = true
+	w.record("slow %d %.2f", id, severity)
+	return true
+}
+
+func (w *fakeWorld) UnslowServer(id int) bool {
+	if !w.slowed[id] {
+		return false
+	}
+	w.slowed[id] = false
+	w.record("unslow %d", id)
+	return true
+}
+
+func (w *fakeWorld) PartitionServer(id int) bool {
+	if w.down[id] || w.partitioned[id] {
+		return false
+	}
+	w.partitioned[id] = true
+	w.record("partition %d", id)
+	return true
+}
+
+func (w *fakeWorld) HealServer(id int) bool {
+	if !w.partitioned[id] {
+		return false
+	}
+	w.partitioned[id] = false
+	w.record("heal %d", id)
+	return true
+}
+
+// runPlan arms the plan on a fresh engine/world and runs to the horizon.
+func runPlan(t *testing.T, plan *Plan, servers int, seed int64, horizon float64) (*fakeWorld, Stats) {
+	t.Helper()
+	eng := sim.NewEngine()
+	w := newFakeWorld(servers)
+	inj, err := NewInjector(eng, w, plan, sim.NewRNG(seed).Stream("chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	eng.Run(horizon)
+	return w, inj.Stats()
+}
+
+func TestInjectorOneShotCrashRestartPairing(t *testing.T) {
+	plan := &Plan{Name: "t", Faults: []FaultSpec{
+		{Kind: KindCrash, Server: 2, At: 100, DurationSecs: 50},
+		{Kind: KindCrash, Server: 0, At: 200}, // permanent
+	}}
+	w, stats := runPlan(t, plan, 4, 1, 1000)
+	want := []string{"crash 2", "restart 2", "crash 0"}
+	if !reflect.DeepEqual(w.log, want) {
+		t.Errorf("log = %v, want %v", w.log, want)
+	}
+	if stats.Crashes != 2 || stats.Restarts != 1 || stats.Skipped != 0 {
+		t.Errorf("stats = %+v, want 2 crashes, 1 restart", stats)
+	}
+	if !w.down[0] || w.down[2] {
+		t.Errorf("end state: down=%v, want only server 0 down", w.down)
+	}
+}
+
+func TestInjectorPeriodicCountCap(t *testing.T) {
+	plan := &Plan{Name: "t", Faults: []FaultSpec{
+		{Kind: KindSlowdown, Server: 1, At: 10, Every: 100, Count: 3, DurationSecs: 20, Severity: 0.5},
+	}}
+	w, stats := runPlan(t, plan, 2, 1, 10000)
+	want := []string{
+		"slow 1 0.50", "unslow 1",
+		"slow 1 0.50", "unslow 1",
+		"slow 1 0.50", "unslow 1",
+	}
+	if !reflect.DeepEqual(w.log, want) {
+		t.Errorf("log = %v, want %v", w.log, want)
+	}
+	if stats.Slowdowns != 3 {
+		t.Errorf("slowdowns = %d, want 3 (count cap)", stats.Slowdowns)
+	}
+}
+
+func TestInjectorPeriodicUntilCap(t *testing.T) {
+	plan := &Plan{Name: "t", Faults: []FaultSpec{
+		{Kind: KindPartition, Server: 0, At: 10, Every: 100, Until: 350, DurationSecs: 5},
+	}}
+	// Arrivals at 10, 110, 210, 310; 410 >= Until is never scheduled.
+	w, stats := runPlan(t, plan, 1, 1, 10000)
+	if stats.Partitions != 4 || stats.Heals != 4 {
+		t.Errorf("stats = %+v, want 4 partitions healed (until cap)", stats)
+	}
+	if len(w.log) != 8 {
+		t.Errorf("log has %d entries, want 8: %v", len(w.log), w.log)
+	}
+}
+
+func TestInjectorSkipsAlreadyDown(t *testing.T) {
+	plan := &Plan{Name: "t", Faults: []FaultSpec{
+		{Kind: KindCrash, Server: 0, At: 100}, // permanent
+		{Kind: KindCrash, Server: 0, At: 200, DurationSecs: 10},
+		{Kind: KindSlowdown, Server: 0, At: 300, DurationSecs: 10, Severity: 0.5},
+		{Kind: KindPartition, Server: 0, At: 400, DurationSecs: 10},
+	}}
+	w, stats := runPlan(t, plan, 1, 1, 1000)
+	if !reflect.DeepEqual(w.log, []string{"crash 0"}) {
+		t.Errorf("log = %v, want only the first crash to apply", w.log)
+	}
+	if stats.Skipped != 3 || stats.Total() != 1 {
+		t.Errorf("stats = %+v, want 3 skipped, 1 applied", stats)
+	}
+}
+
+func TestInjectorRateArrivalsRespectCaps(t *testing.T) {
+	plan := &Plan{Name: "t", Faults: []FaultSpec{
+		{Kind: KindCrash, Server: AnyServer, At: 0, RatePerHour: 60, Count: 5, DurationSecs: 30},
+	}}
+	_, stats := runPlan(t, plan, 8, 42, 100000)
+	if stats.Crashes+stats.Skipped != 5 {
+		t.Errorf("rate fault fired %d times (%+v), want exactly Count=5 arrivals",
+			stats.Crashes+stats.Skipped, stats)
+	}
+	if stats.Restarts != stats.Crashes {
+		t.Errorf("every recoverable crash should restart by the horizon: %+v", stats)
+	}
+}
+
+func TestInjectorDropsPastArrivals(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Schedule(500, func() {})
+	eng.RunAll() // now = 500
+	w := newFakeWorld(2)
+	plan := &Plan{Name: "t", Faults: []FaultSpec{
+		{Kind: KindCrash, Server: 0, At: 100},  // in the past: dropped
+		{Kind: KindCrash, Server: 1, At: 1000}, // still ahead: fires
+	}}
+	inj, err := NewInjector(eng, w, plan, sim.NewRNG(1).Stream("chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	eng.RunAll()
+	if !reflect.DeepEqual(w.log, []string{"crash 1"}) {
+		t.Errorf("log = %v, want only the future crash", w.log)
+	}
+}
+
+func TestNewInjectorRejectsBadTargets(t *testing.T) {
+	eng := sim.NewEngine()
+	plan := &Plan{Name: "t", Faults: []FaultSpec{{Kind: KindCrash, Server: 5, At: 1}}}
+	if _, err := NewInjector(eng, newFakeWorld(4), plan, sim.NewRNG(1)); err == nil {
+		t.Error("fault targeting server 5 of 4 accepted")
+	}
+	if _, err := NewInjector(eng, newFakeWorld(0), DefaultStormPlan(), sim.NewRNG(1)); err == nil {
+		t.Error("world with no servers accepted")
+	}
+}
+
+// TestInjectorDeterministicSchedule runs the storm plan twice with the same
+// seed and once with a different seed: identical seeds must produce an
+// identical action log, and the log must exercise randomness (a different
+// seed diverges).
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []string {
+		w, _ := runPlan(t, DefaultStormPlan(), 10, seed, 20000)
+		return w.log
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n a: %v\n b: %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("storm plan produced no actions")
+	}
+	if c := run(8); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules; RNG unused?")
+	}
+}

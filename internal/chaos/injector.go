@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+
+	"quasar/internal/sim"
+)
+
+// World is the cluster-facing surface the injector drives. internal/core's
+// Runtime implements it. Every method returns whether the action applied;
+// an injection can no-op when its target is already in the requested state
+// (e.g. crashing a server that another fault took down first).
+type World interface {
+	// NumServers returns the size of the target pool for random faults.
+	NumServers() int
+	// CrashServer takes a server down, killing resident work.
+	CrashServer(id int) bool
+	// RestartServer brings a crashed server back up, empty.
+	RestartServer(id int) bool
+	// SlowServer installs slowdown pressure scaled by severity in (0,1].
+	SlowServer(id int, severity float64) bool
+	// UnslowServer removes slowdown pressure.
+	UnslowServer(id int) bool
+	// PartitionServer cuts heartbeats from the server.
+	PartitionServer(id int) bool
+	// HealServer restores heartbeats.
+	HealServer(id int) bool
+}
+
+// Stats counts what the injector actually did. All fields are exported so
+// experiment results can embed and JSON-serialize them.
+type Stats struct {
+	Crashes    int `json:"crashes"`
+	Restarts   int `json:"restarts"`
+	Slowdowns  int `json:"slowdowns"`
+	Partitions int `json:"partitions"`
+	Heals      int `json:"heals"`
+	// Skipped counts injections that no-oped because the target was already
+	// in the requested state.
+	Skipped int `json:"skipped"`
+}
+
+// Total returns the number of applied primary injections (recoveries —
+// restarts, slowdown ends, heals — not included).
+func (s Stats) Total() int { return s.Crashes + s.Slowdowns + s.Partitions }
+
+// Injector arms a Plan's faults on a simulation engine. Create one with
+// NewInjector, call Start before running the engine.
+type Injector struct {
+	eng   *sim.Engine
+	w     World
+	plan  *Plan
+	rng   *sim.RNG
+	stats Stats
+}
+
+// NewInjector validates the plan and binds it to an engine and a world. The
+// caller hands over a dedicated RNG (conventionally rt.RNG.Stream("chaos"),
+// derived before the run starts so derivation order is fixed).
+func NewInjector(eng *sim.Engine, w World, plan *Plan, rng *sim.RNG) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if w.NumServers() <= 0 {
+		return nil, fmt.Errorf("chaos: world has no servers")
+	}
+	for i := range plan.Faults {
+		if plan.Faults[i].Server >= w.NumServers() {
+			return nil, fmt.Errorf("chaos: fault %d targets server %d, world has %d",
+				i, plan.Faults[i].Server, w.NumServers())
+		}
+	}
+	return &Injector{eng: eng, w: w, plan: plan, rng: rng}, nil
+}
+
+// Stats returns what has been injected so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Plan returns the armed plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Start arms every fault in plan order. Substream derivation runs here,
+// sequentially, so the schedule is independent of anything that happens
+// during the run. Faults whose first arrival is already in the past
+// (At < engine now) are dropped.
+func (in *Injector) Start() {
+	// Plan order, never map order: the analyzer's chaos rule exists to keep
+	// it that way.
+	for i := range in.plan.Faults {
+		spec := &in.plan.Faults[i]
+		sub := in.rng.Stream("fault:" + strconv.Itoa(i))
+		in.arm(spec, sub)
+	}
+}
+
+func (in *Injector) arm(spec *FaultSpec, rng *sim.RNG) {
+	first := spec.At
+	if spec.RatePerHour > 0 {
+		first = spec.At + rng.Exponential(3600/spec.RatePerHour)
+	}
+	if first < in.eng.Now() {
+		return
+	}
+	fired := 0
+	var fire func()
+	fire = func() {
+		if spec.Until > 0 && in.eng.Now() >= spec.Until {
+			return
+		}
+		in.inject(spec, rng)
+		fired++
+		if !spec.repeating() || (spec.Count > 0 && fired >= spec.Count) {
+			return
+		}
+		var next float64
+		if spec.Every > 0 {
+			next = in.eng.Now() + spec.Every
+		} else {
+			next = in.eng.Now() + rng.Exponential(3600/spec.RatePerHour)
+		}
+		if spec.Until > 0 && next >= spec.Until {
+			return
+		}
+		in.eng.Schedule(next, fire)
+	}
+	in.eng.Schedule(first, fire)
+}
+
+// inject applies one arrival of spec now, scheduling the matching recovery.
+// The target draw happens per injection so repeating random faults spread
+// over the cluster.
+func (in *Injector) inject(spec *FaultSpec, rng *sim.RNG) {
+	id := spec.Server
+	if id == AnyServer {
+		id = rng.Intn(in.w.NumServers())
+	}
+	switch spec.Kind {
+	case KindCrash:
+		if !in.w.CrashServer(id) {
+			in.stats.Skipped++
+			return
+		}
+		in.stats.Crashes++
+		if spec.DurationSecs > 0 {
+			in.eng.After(spec.DurationSecs, func() {
+				if in.w.RestartServer(id) {
+					in.stats.Restarts++
+				}
+			})
+		}
+	case KindSlowdown:
+		if !in.w.SlowServer(id, spec.Severity) {
+			in.stats.Skipped++
+			return
+		}
+		in.stats.Slowdowns++
+		in.eng.After(spec.DurationSecs, func() {
+			in.w.UnslowServer(id)
+		})
+	case KindPartition:
+		if !in.w.PartitionServer(id) {
+			in.stats.Skipped++
+			return
+		}
+		in.stats.Partitions++
+		in.eng.After(spec.DurationSecs, func() {
+			if in.w.HealServer(id) {
+				in.stats.Heals++
+			}
+		})
+	}
+}

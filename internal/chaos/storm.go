@@ -1,0 +1,23 @@
+package chaos
+
+// DefaultStormPlan is the canned fault storm used by the availability
+// experiment, the trace-diff-chaos CI lane, and the README example. It
+// mixes every fault kind and every arrival mode: recoverable and permanent
+// crashes, a Poisson crash process, periodic and one-shot slowdowns, and
+// partitions both longer and shorter than the detection window.
+// testdata/storm.json is the same plan in file form; a test keeps the two
+// in sync.
+func DefaultStormPlan() *Plan {
+	return &Plan{
+		Name: "storm",
+		Faults: []FaultSpec{
+			{Kind: KindCrash, Server: AnyServer, At: 2500, DurationSecs: 2000},
+			{Kind: KindCrash, Server: AnyServer, At: 4000},
+			{Kind: KindCrash, Server: AnyServer, At: 3000, RatePerHour: 2, Count: 4, Until: 12000, DurationSecs: 1500},
+			{Kind: KindSlowdown, Server: AnyServer, At: 2000, Every: 3000, Count: 3, DurationSecs: 1200, Severity: 0.6},
+			{Kind: KindSlowdown, Server: AnyServer, At: 5000, DurationSecs: 2000, Severity: 0.8},
+			{Kind: KindPartition, Server: AnyServer, At: 6000, DurationSecs: 900},
+			{Kind: KindPartition, Server: AnyServer, At: 9000, DurationSecs: 120},
+		},
+	}
+}

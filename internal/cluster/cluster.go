@@ -35,6 +35,33 @@ type Placement struct {
 	ActiveDisk  float64 // fraction of server disk bandwidth in use
 }
 
+// DetectorState is a failure detector's belief about a server. It lives on
+// the server so the scheduler and managers share one view; the runtime's
+// heartbeat detector is the only writer.
+type DetectorState int
+
+const (
+	// DetOK: heartbeats arriving normally.
+	DetOK DetectorState = iota
+	// DetSuspect: some heartbeats missed; do not place new work here.
+	DetSuspect
+	// DetDead: declared failed; residents have been (or are being) fenced
+	// and displaced.
+	DetDead
+)
+
+func (d DetectorState) String() string {
+	switch d {
+	case DetOK:
+		return "ok"
+	case DetSuspect:
+		return "suspect"
+	case DetDead:
+		return "dead"
+	}
+	return fmt.Sprintf("det(%d)", int(d))
+}
+
 // Server is one machine of the cluster: a platform instance plus the
 // bookkeeping of everything placed on it.
 type Server struct {
@@ -53,6 +80,17 @@ type Server struct {
 	pressure   ResVec // sum of residents' Caused vectors
 	probe      ResVec // injected microbenchmark pressure (iBench-style)
 	isolation  ResVec // fraction of cross-workload pressure removed per resource
+
+	// Fault state. down and partitioned are physical ground truth (set by
+	// fault injection through the runtime); degrade is extra interference
+	// pressure modeling a transient slowdown (thermal throttling, a failing
+	// disk, a noisy co-tenant below the virtualization line); det is the
+	// failure detector's belief, which lags the physical truth by the
+	// missed-heartbeat window.
+	down        bool
+	partitioned bool
+	degrade     ResVec
+	det         DetectorState
 }
 
 // NewServer returns an empty server of the given platform.
@@ -72,10 +110,73 @@ func (s *Server) UsedCores() int { return s.usedCores }
 // UsedMemGB returns the allocated memory.
 func (s *Server) UsedMemGB() float64 { return s.usedMemGB }
 
-// Fits reports whether alloc can be placed on the server right now.
+// Fits reports whether alloc can be placed on the server right now. A server
+// that is down or partitioned cannot take new work.
 func (s *Server) Fits(alloc Alloc) bool {
+	if !s.Reachable() {
+		return false
+	}
 	return alloc.Cores <= s.FreeCores() && alloc.MemoryGB <= s.FreeMemGB()+1e-9
 }
+
+// Up reports whether the server is physically running.
+func (s *Server) Up() bool { return !s.down }
+
+// SetDown marks the server crashed. Placements are NOT cleared here: they
+// are the manager's belief, and it only learns of the crash through the
+// failure detector (or a restart reconciliation).
+func (s *Server) SetDown() {
+	s.down = true
+	s.degrade = ResVec{}
+	s.partitioned = false
+}
+
+// SetUp brings a crashed server back. It rejoins clean: not partitioned, not
+// degraded. Detector state recovers on the next heartbeat.
+func (s *Server) SetUp() {
+	s.down = false
+	s.degrade = ResVec{}
+	s.partitioned = false
+}
+
+// SetPartitioned sets whether the server is network-partitioned from the
+// manager: it keeps running resident work, but heartbeats are lost.
+func (s *Server) SetPartitioned(p bool) { s.partitioned = p }
+
+// Partitioned reports whether heartbeats from this server are being lost.
+func (s *Server) Partitioned() bool { return s.partitioned }
+
+// Reachable reports whether the manager can talk to the server: it is up
+// and not partitioned. Unreachable servers accept no placements.
+func (s *Server) Reachable() bool { return !s.down && !s.partitioned }
+
+// SetDegrade installs extra interference pressure modeling a transient
+// slowdown (degraded IPC). It replaces any previous degradation.
+func (s *Server) SetDegrade(v ResVec) { s.degrade = v }
+
+// Degrade returns the current slowdown pressure.
+func (s *Server) Degrade() ResVec { return s.degrade }
+
+// Degraded reports whether any slowdown pressure is installed.
+func (s *Server) Degraded() bool {
+	for r := range s.degrade {
+		if s.degrade[r] != 0 { //lint:allow(floatcmp) zero means "no pressure installed"
+			return true
+		}
+	}
+	return false
+}
+
+// Det returns the failure detector's belief about this server.
+func (s *Server) Det() DetectorState { return s.det }
+
+// SetDet records the failure detector's belief. Only the runtime's heartbeat
+// detector should call this.
+func (s *Server) SetDet(d DetectorState) { s.det = d }
+
+// Schedulable reports whether the scheduler may place new work here: the
+// server is reachable and the failure detector does not suspect it.
+func (s *Server) Schedulable() bool { return s.Reachable() && s.det == DetOK }
 
 // Place reserves alloc for the given workload. It returns the placement or
 // an error when capacity is insufficient or the workload already resides
@@ -86,6 +187,10 @@ func (s *Server) Place(workloadID string, alloc Alloc, caused ResVec, bestEffort
 	}
 	if _, dup := s.placements[workloadID]; dup {
 		return nil, fmt.Errorf("cluster: %s already placed on server %d", workloadID, s.ID)
+	}
+	if !s.Reachable() {
+		return nil, fmt.Errorf("cluster: server %d is unreachable (down=%v partitioned=%v)",
+			s.ID, s.down, s.partitioned)
 	}
 	if !s.Fits(alloc) {
 		return nil, fmt.Errorf("cluster: server %d cannot fit %+v (free %d cores, %.1f GB)",
@@ -119,6 +224,9 @@ func (s *Server) Resize(workloadID string, alloc Alloc, caused ResVec) error {
 	pl, ok := s.placements[workloadID]
 	if !ok {
 		return fmt.Errorf("cluster: %s not placed on server %d", workloadID, s.ID)
+	}
+	if !s.Reachable() {
+		return fmt.Errorf("cluster: server %d is unreachable, cannot resize %s", s.ID, workloadID)
 	}
 	dCores := alloc.Cores - pl.Alloc.Cores
 	dMem := alloc.MemoryGB - pl.Alloc.MemoryGB
@@ -185,7 +293,7 @@ func clampUnit(x float64) float64 {
 // by itself, attenuated by any configured partitioning. workloadID may be
 // "" to get total pressure.
 func (s *Server) PressureOn(workloadID string) ResVec {
-	p := s.pressure.Add(s.probe)
+	p := s.pressure.Add(s.probe).Add(s.degrade)
 	if pl, ok := s.placements[workloadID]; ok {
 		p = p.Sub(pl.Caused)
 	}
@@ -198,7 +306,11 @@ func (s *Server) PressureOn(workloadID string) ResVec {
 // CPUUtilization returns actually-busy cores divided by total cores.
 // Summation runs in workload-ID order: float addition is not associative,
 // so summing in map order would change the last bits run to run.
+// A down server does no work, whatever stale placements it still carries.
 func (s *Server) CPUUtilization() float64 {
+	if s.down {
+		return 0
+	}
 	busy := 0.0
 	for _, pl := range s.Placements() {
 		busy += pl.ActiveCores
@@ -212,6 +324,9 @@ func (s *Server) CPUUtilization() float64 {
 
 // MemUtilization returns actually-used memory divided by total memory.
 func (s *Server) MemUtilization() float64 {
+	if s.down {
+		return 0
+	}
 	used := 0.0
 	for _, pl := range s.Placements() {
 		used += pl.ActiveMemGB
@@ -225,6 +340,9 @@ func (s *Server) MemUtilization() float64 {
 
 // DiskUtilization returns the fraction of disk bandwidth in use.
 func (s *Server) DiskUtilization() float64 {
+	if s.down {
+		return 0
+	}
 	used := 0.0
 	for _, pl := range s.Placements() {
 		used += pl.ActiveDisk
@@ -340,4 +458,51 @@ func (c *Cluster) FreeCores() int {
 		n += s.FreeCores()
 	}
 	return n
+}
+
+// NumLive counts servers the scheduler can currently use (reachable and not
+// suspected by the failure detector).
+func (c *Cluster) NumLive() int {
+	n := 0
+	for _, s := range c.Servers {
+		if s.Schedulable() {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveCores returns the core count of schedulable servers only: dead or
+// suspect machines contribute no capacity.
+func (c *Cluster) LiveCores() int {
+	n := 0
+	for _, s := range c.Servers {
+		if s.Schedulable() {
+			n += s.Platform.Cores
+		}
+	}
+	return n
+}
+
+// LiveFreeCores sums unallocated cores over schedulable servers: the
+// capacity actually available to recover displaced work.
+func (c *Cluster) LiveFreeCores() int {
+	n := 0
+	for _, s := range c.Servers {
+		if s.Schedulable() {
+			n += s.FreeCores()
+		}
+	}
+	return n
+}
+
+// LiveMemGB returns the memory capacity of schedulable servers only.
+func (c *Cluster) LiveMemGB() float64 {
+	m := 0.0
+	for _, s := range c.Servers {
+		if s.Schedulable() {
+			m += s.Platform.MemoryGB
+		}
+	}
+	return m
 }

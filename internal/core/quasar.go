@@ -59,6 +59,14 @@ type taskState struct {
 	lastAdjust  float64 // time of the last allocation adjustment
 	lastResched float64 // time of the last full reschedule
 	lastReclass float64 // time of the last reclassification
+
+	// Displacement episode (failure recovery): set when a server death took
+	// at least one of the workload's nodes, cleared when capacity is
+	// restored. reprofiled tracks whether a reclassification happened
+	// mid-episode (the recovery path is supposed to avoid it).
+	displaced   bool
+	displacedAt float64
+	reprofiled  bool
 }
 
 // Quasar is the paper's cluster manager: performance-target interface,
@@ -80,6 +88,10 @@ type Quasar struct {
 	// monitoring. PhaseEvents records each with its trigger source.
 	PhaseChangesDetected int
 	PhaseEvents          []PhaseEvent
+
+	// recovery aggregates the failure-recovery policy's bookkeeping
+	// (see recovery.go).
+	recovery RecoveryStats
 }
 
 // PhaseEvent records one detected phase change / misclassification.
@@ -249,6 +261,13 @@ func (q *Quasar) needPerf(t *Task, st *taskState) float64 {
 
 // tryPlace runs the greedy scheduler and applies the assignment.
 func (q *Quasar) tryPlace(t *Task, st *taskState) bool {
+	return q.tryPlaceOpt(t, st, false)
+}
+
+// tryPlaceOpt is tryPlace with an explicit degraded-admission override:
+// forcePartial waives the scheduler's minimum-fill admission check, used by
+// the recovery path when the surviving cluster cannot meet full targets.
+func (q *Quasar) tryPlaceOpt(t *Task, st *taskState, forcePartial bool) bool {
 	maxNodes := q.opts.MaxNodesPerJob
 	if !t.W.Type.Distributed() {
 		maxNodes = 1
@@ -260,7 +279,7 @@ func (q *Quasar) tryPlace(t *Task, st *taskState) bool {
 	// A workload already past its deadline, or one being rescheduled
 	// mid-flight, takes whatever is available rather than waiting for the
 	// full (possibly inflated) requirement.
-	acceptPartial := t.Progress > 0 ||
+	acceptPartial := forcePartial || t.Progress > 0 ||
 		(t.W.Type.Class() == perfmodel.Analytics &&
 			st.deadline > 0 && q.rt.Eng.Now() > st.deadline)
 	req := &sched.Request{
@@ -325,7 +344,7 @@ func (q *Quasar) beSafeOn(s *cluster.Server) bool {
 func (q *Quasar) placeBestEffort(t *Task) bool {
 	var best *cluster.Server
 	for _, s := range q.rt.Cl.Servers {
-		if s.FreeCores() >= 1 && s.FreeMemGB() >= 1 && q.beSafeOn(s) {
+		if s.Schedulable() && s.FreeCores() >= 1 && s.FreeMemGB() >= 1 && q.beSafeOn(s) {
 			if best == nil || s.FreeCores() > best.FreeCores() {
 				best = s
 			}
@@ -364,6 +383,9 @@ func (q *Quasar) drainQueue() {
 			ok = q.placeBestEffort(t)
 		} else if st, has := q.state[t.W.ID]; has {
 			ok = q.tryPlace(t, st)
+			if ok && st.displaced {
+				q.finishReadmit(t, st, "queue-drain")
+			}
 		}
 		if !ok {
 			still = append(still, t)
@@ -413,6 +435,12 @@ func (q *Quasar) monitor(t *Task, st *taskState) {
 	}
 	now := q.rt.Eng.Now()
 	measured := q.rt.MeasuredPerf(t)
+	// A displacement episode ends when measured performance is back at the
+	// needed level (covers partial displacements healed by scale-out or by
+	// surviving headroom).
+	if st.displaced && measured >= 0.95*need {
+		q.finishReadmit(t, st, "recovered")
+	}
 	// Feedback loop (§3.2): fold the measured-vs-estimated deviation back
 	// into the estimates before deciding how to adjust.
 	st.est.CorrectWith(measured, q.nodeChoices(t))
@@ -424,9 +452,12 @@ func (q *Quasar) monitor(t *Task, st *taskState) {
 		}
 		st.lastAdjust = now
 		q.scaleUpOrOut(t, st, need, measured)
-		if st.below >= 3 && now-st.lastReclass > 120 {
+		if st.below >= 3 && now-st.lastReclass > 120 && !st.displaced {
 			// Persistent shortfall: misclassification or phase change —
-			// reclassify from scratch (§4.1).
+			// reclassify from scratch (§4.1). During a displacement episode
+			// the shortfall is already explained by the lost node(s), so
+			// re-profiling is suppressed: the cached signature stays valid
+			// and recovery stays on the profiling-free path.
 			st.lastReclass = now
 			q.reclassify(t, st, "reactive")
 		}
@@ -663,6 +694,9 @@ func (q *Quasar) reclaim(t *Task, st *taskState, need, measured float64) {
 // reclassify re-profiles a workload in place and reschedules if the fresh
 // estimates demand it.
 func (q *Quasar) reclassify(t *Task, st *taskState, source string) {
+	if st.displaced {
+		st.reprofiled = true
+	}
 	q.PhaseChangesDetected++
 	q.PhaseEvents = append(q.PhaseEvents, PhaseEvent{Time: q.rt.Eng.Now(), TaskID: t.W.ID, Source: source})
 	if q.tracer.Enabled() {

@@ -162,7 +162,13 @@ type Runtime struct {
 	AllocSeries metrics.Series
 	UsedSeries  metrics.Series
 
-	stopTick, stopSample func()
+	// Failure-detector state (nil/empty until EnableFailureDetector):
+	// detOpts holds the thresholds, missed counts consecutive missed
+	// heartbeats per server index.
+	detOpts *DetectorOptions
+	missed  []int
+
+	stopTick, stopSample, stopHB func()
 }
 
 // NewRuntime builds a runtime over the cluster.
@@ -232,6 +238,11 @@ func (rt *Runtime) SetManager(m Manager) {
 	rt.stopTick = rt.Eng.Ticker(now+rt.opts.TickSecs, rt.opts.TickSecs, rt.tick)
 	if rt.opts.SampleSecs > 0 {
 		rt.stopSample = rt.Eng.Ticker(now+rt.opts.SampleSecs, rt.opts.SampleSecs, rt.sample)
+	}
+	if rt.detOpts != nil {
+		// A manager failover must not stop failure detection; detector state
+		// (including miss counters) is runtime state and survives the switch.
+		rt.startHeartbeat()
 	}
 }
 
@@ -369,6 +380,11 @@ func (rt *Runtime) nodesOf(t *Task) []perfmodel.NodeAlloc {
 	nodes := make([]perfmodel.NodeAlloc, 0, len(ids))
 	for _, id := range ids {
 		pl := t.placements[id]
+		if !pl.Server.Up() {
+			// Crashed but not yet detected: the placement is still on the
+			// books, but the machine does no work.
+			continue
+		}
 		nodes = append(nodes, perfmodel.NodeAlloc{
 			Platform: pl.Server.Platform,
 			Alloc:    pl.Alloc,
@@ -567,5 +583,9 @@ func (rt *Runtime) Stop() {
 	}
 	if rt.stopSample != nil {
 		rt.stopSample()
+	}
+	if rt.stopHB != nil {
+		rt.stopHB()
+		rt.stopHB = nil
 	}
 }

@@ -15,19 +15,26 @@ import (
 // and survive a master failover, exactly as real workloads keep running
 // while the manager restarts.
 
-// quasarTaskSnapshot is one workload's manager-side state.
+// quasarTaskSnapshot is one workload's manager-side state. The displacement
+// fields carry an in-flight failure-recovery episode across a failover: the
+// standby must keep attributing the episode's MTTR and signature-reuse
+// bookkeeping, not restart it.
 type quasarTaskSnapshot struct {
-	ID       string                     `json:"id"`
-	WorkEst  float64                    `json:"work_est"`
-	Deadline float64                    `json:"deadline"`
-	Est      *classify.EstimateSnapshot `json:"est"`
+	ID          string                     `json:"id"`
+	WorkEst     float64                    `json:"work_est"`
+	Deadline    float64                    `json:"deadline"`
+	Est         *classify.EstimateSnapshot `json:"est"`
+	Displaced   bool                       `json:"displaced,omitempty"`
+	DisplacedAt float64                    `json:"displaced_at,omitempty"`
+	Reprofiled  bool                       `json:"reprofiled,omitempty"`
 }
 
 // QuasarSnapshot is the serializable manager state.
 type QuasarSnapshot struct {
-	Engine *classify.EngineSnapshot `json:"engine"`
-	Tasks  []quasarTaskSnapshot     `json:"tasks"`
-	Queue  []string                 `json:"queue"`
+	Engine   *classify.EngineSnapshot `json:"engine"`
+	Tasks    []quasarTaskSnapshot     `json:"tasks"`
+	Queue    []string                 `json:"queue"`
+	Recovery RecoveryStats            `json:"recovery"`
 }
 
 // Snapshot captures the manager's state. It is safe to call between ticks.
@@ -38,7 +45,10 @@ func (q *Quasar) Snapshot() *QuasarSnapshot {
 		if !ok {
 			continue
 		}
-		ts := quasarTaskSnapshot{ID: t.W.ID, WorkEst: st.workEst, Deadline: st.deadline}
+		ts := quasarTaskSnapshot{
+			ID: t.W.ID, WorkEst: st.workEst, Deadline: st.deadline,
+			Displaced: st.displaced, DisplacedAt: st.displacedAt, Reprofiled: st.reprofiled,
+		}
 		if st.est != nil {
 			ts.Est = st.est.Snapshot()
 		}
@@ -47,6 +57,7 @@ func (q *Quasar) Snapshot() *QuasarSnapshot {
 	for _, t := range q.queue {
 		snap.Queue = append(snap.Queue, t.W.ID)
 	}
+	snap.Recovery = q.Recovery()
 	return snap
 }
 
@@ -65,7 +76,10 @@ func (q *Quasar) Restore(snap *QuasarSnapshot) error {
 		if q.rt.Task(ts.ID) == nil {
 			return fmt.Errorf("core: snapshot references unknown task %s", ts.ID)
 		}
-		st := &taskState{workEst: ts.WorkEst, deadline: ts.Deadline}
+		st := &taskState{
+			workEst: ts.WorkEst, deadline: ts.Deadline,
+			displaced: ts.Displaced, displacedAt: ts.DisplacedAt, reprofiled: ts.Reprofiled,
+		}
 		if ts.Est != nil {
 			est, err := classify.RestoreEstimates(q.engine, ts.Est)
 			if err != nil {
@@ -81,6 +95,8 @@ func (q *Quasar) Restore(snap *QuasarSnapshot) error {
 			q.queue = append(q.queue, t)
 		}
 	}
+	q.recovery = snap.Recovery
+	q.recovery.ReadmitDelays = append([]float64(nil), snap.Recovery.ReadmitDelays...)
 	return nil
 }
 

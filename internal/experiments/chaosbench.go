@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+
+	"quasar/internal/chaos"
+)
+
+// ChaosBenchConfig sizes the fault-subsystem benchmark. Three timed modes
+// over the availability mix: healthy with no detector (the pre-chaos
+// baseline), healthy with the detector heartbeating (its overhead must be
+// negligible), and the full fault storm (the recovery path's cost).
+type ChaosBenchConfig struct {
+	Avail AvailabilityConfig
+	// Repeats takes the minimum wall time over this many runs per mode to
+	// damp scheduler noise (default 3).
+	Repeats int
+}
+
+// DefaultChaosBenchConfig benches the canned availability scenario.
+func DefaultChaosBenchConfig() ChaosBenchConfig {
+	return ChaosBenchConfig{Avail: DefaultAvailabilityConfig(), Repeats: 3}
+}
+
+// ChaosBenchResult is the record committed as BENCH_chaos.json. Wall times
+// are host-specific; the overhead fractions and the deterministic fault /
+// recovery counts are the comparable part.
+type ChaosBenchResult struct {
+	CPUs        int     `json:"cpus"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Repeats     int     `json:"repeats"`
+	Workloads   int     `json:"workloads"`
+	HorizonSecs float64 `json:"horizon_secs"`
+
+	// HealthySecs: no detector, no faults — the pre-subsystem baseline.
+	HealthySecs float64 `json:"healthy_secs"`
+	// DetectorSecs: detector heartbeating over a healthy cluster.
+	DetectorSecs float64 `json:"detector_secs"`
+	// DetectorOverheadFrac = (DetectorSecs-HealthySecs)/HealthySecs; a test
+	// bounds it under 5%.
+	DetectorOverheadFrac float64 `json:"detector_overhead_frac"`
+
+	// StormSecs: the full fault storm, detector on, recovery active.
+	StormSecs float64 `json:"storm_secs"`
+	// StormOverheadFrac = (StormSecs-HealthySecs)/HealthySecs.
+	StormOverheadFrac float64 `json:"storm_overhead_frac"`
+
+	// Deterministic outcome of the storm run.
+	Faults     chaos.Stats `json:"faults"`
+	Displaced  int         `json:"displaced"`
+	Readmitted int         `json:"readmitted"`
+	MTTRSecs   float64     `json:"mttr_secs"`
+}
+
+// chaosBenchRun executes the availability mix once in the given mode.
+// detector without a plan arms the heartbeat loop over a storm-free run.
+func chaosBenchRun(cfg AvailabilityConfig, detector bool, plan *chaos.Plan) (*Scenario, *chaos.Injector, error) {
+	runCfg := cfg
+	runCfg.Trace = false
+	runCfg.Plan = plan
+	if plan == nil {
+		// availabilityScenario always arms a plan; build the scenario by
+		// hand for the healthy modes.
+		s, err := NewScenario(ScenarioConfig{
+			Cluster: Local40, Manager: KindQuasar, Seed: cfg.Seed,
+			MaxNodes: 4, SeedLib: 3,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if detector {
+			s.RT.EnableFailureDetector(cfg.Detector)
+		}
+		submitAvailabilityMix(s, cfg)
+		s.RT.Run(cfg.HorizonSecs)
+		s.RT.Stop()
+		return s, nil, nil
+	}
+	s, inj, err := availabilityScenario(runCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.RT.Run(cfg.HorizonSecs)
+	s.RT.Stop()
+	return s, inj, nil
+}
+
+// ChaosBench times the three modes and aggregates the storm outcome.
+func ChaosBench(cfg ChaosBenchConfig) (*ChaosBenchResult, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 3
+	}
+	res := &ChaosBenchResult{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Repeats:    cfg.Repeats,
+		Workloads: cfg.Avail.Hadoop + cfg.Avail.Spark + cfg.Avail.Services +
+			cfg.Avail.SingleNode + cfg.Avail.BestEffort,
+		HorizonSecs: cfg.Avail.HorizonSecs,
+	}
+	timeRun := func(detector bool, plan *chaos.Plan) (float64, *Scenario, *chaos.Injector, error) {
+		best := 0.0
+		var lastS *Scenario
+		var lastI *chaos.Injector
+		for i := 0; i < cfg.Repeats; i++ {
+			start := wallClock()
+			s, inj, err := chaosBenchRun(cfg.Avail, detector, plan)
+			elapsed := wallClock().Sub(start).Seconds()
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if i == 0 || elapsed < best {
+				best = elapsed
+			}
+			lastS, lastI = s, inj
+		}
+		return best, lastS, lastI, nil
+	}
+	healthy, _, _, err := timeRun(false, nil)
+	if err != nil {
+		return nil, err
+	}
+	det, _, _, err := timeRun(true, nil)
+	if err != nil {
+		return nil, err
+	}
+	storm, s, inj, err := timeRun(true, chaos.DefaultStormPlan())
+	if err != nil {
+		return nil, err
+	}
+	res.HealthySecs, res.DetectorSecs, res.StormSecs = healthy, det, storm
+	if healthy > 0 {
+		res.DetectorOverheadFrac = (det - healthy) / healthy
+		res.StormOverheadFrac = (storm - healthy) / healthy
+	}
+	res.Faults = inj.Stats()
+	rec := s.Q.Recovery()
+	res.Displaced = rec.Displaced
+	res.Readmitted = rec.Readmitted
+	res.MTTRSecs = rec.MTTR()
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *ChaosBenchResult) Print(w io.Writer) {
+	fprintf(w, "== Fault-subsystem benchmark (%d CPUs, min of %d) ==\n", r.CPUs, r.Repeats)
+	fprintf(w, "%d workloads, %.0fs horizon\n", r.Workloads, r.HorizonSecs)
+	fprintf(w, "healthy, no detector: %8.3fs\n", r.HealthySecs)
+	fprintf(w, "healthy, detector on: %8.3fs  (%+.1f%% overhead)\n", r.DetectorSecs, 100*r.DetectorOverheadFrac)
+	fprintf(w, "fault storm:          %8.3fs  (%+.1f%% vs healthy)\n", r.StormSecs, 100*r.StormOverheadFrac)
+	fprintf(w, "storm outcome: %d crashes, %d slowdowns, %d partitions; %d displaced, %d re-admitted, MTTR %.0fs\n",
+		r.Faults.Crashes, r.Faults.Slowdowns, r.Faults.Partitions, r.Displaced, r.Readmitted, r.MTTRSecs)
+}
+
+// WriteJSON writes the result to path.
+func (r *ChaosBenchResult) WriteJSON(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestChaosBenchDetectorOverheadBounded checks the PR's performance bar: the
+// heartbeat failure detector must cost under 5% wall time on a healthy run.
+// Wall-clock comparisons are noisy in CI, so the bound gets a few attempts
+// before the test fails.
+func TestChaosBenchDetectorOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("times the availability mix several times over")
+	}
+	const limit = 0.05
+	cfg := DefaultChaosBenchConfig()
+	// A shorter horizon and fewer repeats keep the timing loop tolerable
+	// while still running hundreds of detector heartbeats per mode.
+	cfg.Avail.HorizonSecs = 8000
+	cfg.Repeats = 2
+	var last *ChaosBenchResult
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err := ChaosBench(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+		if res.DetectorOverheadFrac < limit {
+			if res.Faults.Total() == 0 {
+				t.Fatalf("storm mode injected no faults: %+v", res.Faults)
+			}
+			return
+		}
+		t.Logf("attempt %d: detector overhead %.1f%% (healthy %.3fs, detector %.3fs)",
+			attempt, 100*res.DetectorOverheadFrac, res.HealthySecs, res.DetectorSecs)
+	}
+	t.Errorf("detector overhead %.1f%% exceeds %.0f%% on every attempt (healthy %.3fs, detector %.3fs)",
+		100*last.DetectorOverheadFrac, 100*limit, last.HealthySecs, last.DetectorSecs)
+}

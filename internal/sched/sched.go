@@ -158,6 +158,12 @@ func freeAfterEviction(s *cluster.Server) (cores int, mem float64, evictable []*
 func (s *Scheduler) rank(req *Request) []candidate {
 	var cands []candidate
 	for _, srv := range s.Cluster.Servers {
+		if !srv.Schedulable() {
+			// Never place on a down, partitioned, or detector-suspect
+			// server: a suspect either dies (placement lost) or clears
+			// within a beat, and waiting is far cheaper than displacing.
+			continue
+		}
 		cores, mem, evictable := freeAfterEviction(srv)
 		if cores < 1 || mem <= 0 {
 			continue
