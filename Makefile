@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-parallel bench-obs bench-chaos trace-diff trace-diff-chaos fmt-check ci
+.PHONY: all build test race lint bench bench-parallel bench-obs bench-chaos bench-slo trace-diff trace-diff-chaos trace-diff-slo fmt-check ci
 
 all: build
 
@@ -39,6 +39,10 @@ bench-obs:
 bench-chaos:
 	$(GO) run ./cmd/quasar-bench -chaosbench-out BENCH_chaos.json chaosbench
 
+## bench-slo: time a scenario with the SLO engine off vs on, refresh BENCH_slo.json
+bench-slo:
+	$(GO) run ./cmd/quasar-bench -slobench-out BENCH_slo.json slobench
+
 ## trace-diff: assert the trace is byte-identical across worker counts
 trace-diff:
 	$(GO) run ./cmd/quasar-sim -horizon 4000 -workers 1 -trace /tmp/quasar-trace-w1.jsonl >/dev/null
@@ -52,6 +56,13 @@ trace-diff-chaos:
 	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 4 -faults internal/chaos/testdata/storm.json -trace /tmp/quasar-chaos-w4.jsonl >/dev/null
 	cmp /tmp/quasar-chaos-w1.jsonl /tmp/quasar-chaos-w4.jsonl
 	$(GO) run ./cmd/quasar-trace /tmp/quasar-chaos-w1.jsonl
+
+## trace-diff-slo: same contract with SLO monitoring and burn-rate alerting on
+trace-diff-slo:
+	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 1 -slo -faults internal/chaos/testdata/storm.json -trace /tmp/quasar-slo-w1.jsonl >/dev/null
+	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 4 -slo -faults internal/chaos/testdata/storm.json -trace /tmp/quasar-slo-w4.jsonl >/dev/null
+	cmp /tmp/quasar-slo-w1.jsonl /tmp/quasar-slo-w4.jsonl
+	$(GO) run ./cmd/quasar-trace -alerts /tmp/quasar-slo-w1.jsonl
 
 ## fmt-check: fail if any file needs gofmt
 fmt-check:

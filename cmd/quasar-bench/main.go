@@ -19,6 +19,12 @@
 // detector off vs on vs under the storm and writes the overhead record to
 // -chaosbench-out (default BENCH_chaos.json).
 //
+// The "slodetect" artifact scores the burn-rate alert stream against a
+// scripted crash storm (precision, recall, detection latency vs the
+// heartbeat detector). The "slobench" artifact (not in the default suite)
+// times a scenario with the SLO engine off vs on and writes the overhead
+// record to -slobench-out (default BENCH_slo.json).
+//
 // The -quick flag shrinks every scenario (fewer workloads, shorter
 // horizons) for a fast smoke pass.
 package main
@@ -40,6 +46,7 @@ func main() {
 	parbenchOut := flag.String("parbench-out", "BENCH_parallel.json", "output path for the parbench artifact")
 	obsbenchOut := flag.String("obsbench-out", "BENCH_obs.json", "output path for the obsbench artifact")
 	chaosbenchOut := flag.String("chaosbench-out", "BENCH_chaos.json", "output path for the chaosbench artifact")
+	slobenchOut := flag.String("slobench-out", "BENCH_slo.json", "output path for the slobench artifact")
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
 
@@ -47,7 +54,8 @@ func main() {
 	if len(artifacts) == 0 {
 		artifacts = []string{"fig1", "fig2", "table1", "table2", "fig3", "fig5",
 			"table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-			"stragglers", "phases", "overheads", "ablations", "availability"}
+			"stragglers", "phases", "overheads", "ablations", "availability",
+			"slodetect"}
 	}
 
 	var fig5res *experiments.Fig5Result // shared by fig5 and table3
@@ -198,6 +206,28 @@ func main() {
 			die(err)
 			res.Print(os.Stdout)
 			die(res.WriteJSON(*chaosbenchOut))
+		case "slodetect":
+			cfg := experiments.DefaultSLODetectConfig()
+			if *quick {
+				cfg.SingleNode = 20
+				cfg.Crashes = 2
+				cfg.HorizonSecs = 7000
+			}
+			res, err := experiments.SLODetect(cfg)
+			die(err)
+			res.Print(os.Stdout)
+		case "slobench":
+			cfg := experiments.DefaultSLOBenchConfig()
+			if *quick {
+				cfg.Mix.Hadoop, cfg.Mix.Spark, cfg.Mix.Storm, cfg.Mix.Services = 2, 1, 1, 2
+				cfg.Mix.SingleNode, cfg.Mix.BestEffort = 6, 8
+				cfg.Mix.HorizonSecs = 4000
+				cfg.Mix.Repeats = 2
+			}
+			res, err := experiments.SLOBench(cfg)
+			die(err)
+			res.Print(os.Stdout)
+			die(res.WriteJSON(*slobenchOut))
 		case "obsbench":
 			cfg := experiments.DefaultObsBenchConfig()
 			if *quick {

@@ -41,6 +41,7 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a deterministic trace of the run to this file")
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl | chrome | prom")
 		faultsPath  = flag.String("faults", "", "inject faults from this chaos plan JSON (e.g. internal/chaos/testdata/storm.json)")
+		sloFlag     = flag.Bool("slo", false, "monitor every non-best-effort workload against its SLO and report error budgets, burn-rate alerts, and cluster health")
 	)
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
@@ -60,7 +61,7 @@ func main() {
 
 	s, err := experiments.NewScenario(experiments.ScenarioConfig{
 		Cluster: cl, Manager: kind, Seed: *seed, MaxNodes: 4, SeedLib: 3, Misestimate: true,
-		Trace: *tracePath != "",
+		Trace: *tracePath != "", SLO: *sloFlag,
 	})
 	if err != nil {
 		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
@@ -162,6 +163,10 @@ func main() {
 		fmt.Printf("mean %% of target achieved: %.1f%%\n", 100*sum/float64(n))
 	}
 	fmt.Printf("mean CPU utilization: %.1f%%\n", 100*s.RT.CPUHeat.MeanOverall())
+
+	if s.SLO != nil {
+		s.SLO.Report(os.Stdout)
+	}
 
 	if inj != nil {
 		st := inj.Stats()

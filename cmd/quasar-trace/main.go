@@ -8,12 +8,16 @@
 //	                                           # why did it land on server 12?
 //	quasar-trace -task memcached-0003 -qos run.jsonl
 //	                                           # why did it miss its QoS target?
+//	quasar-trace -alerts run.jsonl             # SLO alert timeline + why each fired
+//	quasar-trace -since 3000 -until 4000 run.jsonl
+//	                                           # restrict any view to a sim-time window
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -26,10 +30,13 @@ func main() {
 		task   = flag.String("task", "", "focus on one workload ID")
 		server = flag.Int("server", -1, "with -task: explain the placement on this server")
 		qos    = flag.Bool("qos", false, "with -task: explain QoS misses")
+		alerts = flag.Bool("alerts", false, "SLO alert timeline with the burn math behind each fire")
+		since  = flag.Float64("since", math.Inf(-1), "drop events before this sim time (seconds)")
+		until  = flag.Float64("until", math.Inf(1), "drop events after this sim time (seconds)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		_, _ = fmt.Fprintln(os.Stderr, "usage: quasar-trace [-task ID [-server N | -qos]] trace.jsonl")
+		_, _ = fmt.Fprintln(os.Stderr, "usage: quasar-trace [-task ID [-server N | -qos]] [-alerts] [-since T] [-until T] trace.jsonl")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -43,8 +50,11 @@ func main() {
 		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	evs = clipWindow(evs, *since, *until)
 
 	switch {
+	case *alerts:
+		alertTimeline(evs, *task)
 	case *task != "" && *server >= 0:
 		explainPlacement(evs, *task, *server)
 	case *task != "" && *qos:
@@ -54,6 +64,14 @@ func main() {
 	default:
 		summarize(evs)
 	}
+}
+
+// clipWindow keeps the events inside [since, until]. Events are time-ordered
+// in the log, so the result stays contiguous.
+func clipWindow(evs []obs.RawEvent, since, until float64) []obs.RawEvent {
+	lo := sort.Search(len(evs), func(i int) bool { return evs[i].T >= since })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].T > until })
+	return evs[lo:hi]
 }
 
 // decisionOf decodes the ScheduleDecision payload of a sched decision event.
@@ -220,6 +238,64 @@ func timeline(evs []obs.RawEvent, task string) {
 	if !found {
 		fmt.Printf("no events for workload %q\n", task)
 	}
+}
+
+// alertTimeline lists every SLO alert transition in the (possibly clipped)
+// trace, replaying the burn arithmetic the engine recorded at fire time so an
+// operator can verify why each alert fired without re-running the simulation.
+// With task set, only that workload's alerts are shown.
+func alertTimeline(evs []obs.RawEvent, task string) {
+	wl := func(ev *obs.RawEvent) string { return strings.TrimPrefix(ev.Track, "workload/") }
+	shown, fires, resolves := 0, 0, 0
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Cat != "slo" {
+			continue
+		}
+		if task != "" && wl(ev) != task {
+			continue
+		}
+		a := argsOf(ev)
+		switch ev.Name {
+		case "alert_fire":
+			fires++
+			shown++
+			fmt.Printf("%9.1fs  FIRE    %-6v %-18s goal=%.2f budget=%.3g\n",
+				ev.T, a["rule"], wl(ev), num(a["goal"]), num(a["budget"]))
+			fmt.Printf("            why: long window %vs had %vs bad -> burn %.1fx >= %vx threshold\n",
+				a["window_long_secs"], a["bad_secs_long"], num(a["burn_long"]), a["threshold"])
+			fmt.Printf("                 short window %vs had %vs bad -> burn %.1fx >= %vx threshold\n",
+				a["window_short_secs"], a["bad_secs_short"], num(a["burn_short"]), a["threshold"])
+		case "alert_resolve":
+			resolves++
+			shown++
+			reason := ""
+			if r, ok := a["reason"]; ok {
+				reason = fmt.Sprintf(" (%v)", r)
+			}
+			fmt.Printf("%9.1fs  RESOLVE %-6v %-18s after %.0fs, peak burn %.1fx%s\n",
+				ev.T, a["rule"], wl(ev), num(a["duration_secs"]), num(a["peak_burn"]), reason)
+		}
+	}
+	if shown == 0 {
+		if task != "" {
+			fmt.Printf("no SLO alerts for workload %q in this window\n", task)
+		} else {
+			fmt.Println("no SLO alerts in this window")
+		}
+		return
+	}
+	fmt.Printf("%d fires, %d resolves", fires, resolves)
+	if open := fires - resolves; open > 0 {
+		fmt.Printf(" (%d still active at window end)", open)
+	}
+	fmt.Println()
+}
+
+// num coerces a decoded JSON arg to float64 for formatted output.
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
 }
 
 func explainPlacement(evs []obs.RawEvent, task string, server int) {

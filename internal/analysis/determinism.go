@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -36,14 +37,20 @@ import (
 //     map-range body — fault plans and other schedules armed in Go's
 //     randomized map order produce a different event sequence (and
 //     consume RNG streams in a different order) every run; iterate a
-//     slice or sorted keys instead.
+//     slice or sorted keys instead;
+//  8. compound float accumulation (+= or -=) into a variable that outlives
+//     a map-range loop — float addition is not associative, so the sum's
+//     low bits vary with Go's randomized iteration order even though every
+//     element is visited; iterate sorted keys (or a slice) instead.
+//     Integer accumulation is associative and passes.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "flags unseeded global math/rand draws, bare time.Now(), " +
 		"unsorted result accumulation across map iteration, shared-RNG " +
 		"capture in concurrent tasks, trace emission in map order or " +
-		"across concurrent tasks, and engine scheduling or RNG draws in " +
-		"map order in simulation code",
+		"across concurrent tasks, engine scheduling or RNG draws in " +
+		"map order, and order-sensitive float accumulation across map " +
+		"iteration in simulation code",
 	Scope: []string{
 		"internal/sim",
 		"internal/experiments",
@@ -53,6 +60,7 @@ var Determinism = &Analyzer{
 		"internal/par",
 		"internal/obs",
 		"internal/chaos",
+		"internal/slo",
 	},
 	Run: runDeterminism,
 }
@@ -347,6 +355,7 @@ func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
 			"tracer emission inside map iteration lands events in Go's randomized map order; iterate a sorted key slice instead")
 		return true
 	})
+	checkFloatAccumulation(pass, rs)
 	// Engine scheduling or RNG draws in map order change the simulation's
 	// event sequence (and stream consumption order) run to run: a fault
 	// plan armed this way produces a different fault schedule every time.
@@ -374,6 +383,64 @@ func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
 		}
 		return true
 	})
+}
+
+// checkFloatAccumulation flags `sum += v` / `sum -= v` inside a map-range
+// body when sum is a float declared outside the loop: float addition is not
+// associative, so the final value's low bits depend on Go's randomized
+// iteration order. There is no sort-afterwards escape hatch — the damage is
+// done during accumulation — so the fix is to iterate sorted keys.
+func checkFloatAccumulation(pass *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) || len(as.Lhs) != 1 {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[as.Lhs[0]]
+		if !ok || !isFloatType(tv.Type) {
+			return true
+		}
+		obj := rootObject(pass, as.Lhs[0])
+		if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()) {
+			return true // loop-local accumulator: dies with the iteration
+		}
+		pass.Reportf(as.TokPos,
+			"float accumulation into %s inside map iteration is order-sensitive (float addition is not associative); iterate sorted keys instead",
+			obj.Name())
+		return true
+	})
+}
+
+// isFloatType reports whether t's underlying type is a floating-point or
+// complex basic type.
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// rootObject walks an lvalue (ident, selector chain, index, parens) down to
+// its root identifier and returns that identifier's object, or nil.
+func rootObject(pass *Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := pass.Pkg.Info.Uses[e]
+			if obj == nil {
+				obj = pass.Pkg.Info.Defs[e]
+			}
+			return obj
+		default:
+			return nil
+		}
+	}
 }
 
 // engineScheduleMethods are the sim.Engine methods that add events to the

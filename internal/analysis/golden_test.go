@@ -26,6 +26,8 @@ var goldenCases = []struct {
 	{Determinism, "determinism_obs_clean", false},
 	{Determinism, "determinism_chaos_bad", true},
 	{Determinism, "determinism_chaos_clean", false},
+	{Determinism, "determinism_slo_bad", true},
+	{Determinism, "determinism_slo_clean", false},
 	{FloatCmp, "floatcmp_bad", true},
 	{FloatCmp, "floatcmp_clean", false},
 	{SnapshotDrift, "snapshotdrift_bad", true},

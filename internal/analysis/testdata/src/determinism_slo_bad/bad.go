@@ -1,0 +1,37 @@
+// Package determinism_slo_bad is a known-bad fixture for the float-
+// accumulation rule of the determinism analyzer: every function folds
+// floats across a map-range loop, so the sum's low bits follow Go's
+// randomized iteration order.
+package determinism_slo_bad
+
+// SumBudgets accumulates a float across map iteration: addition order
+// varies run to run, so the low bits of the total do too.
+func SumBudgets(consumed map[string]float64) float64 {
+	total := 0.0
+	for _, c := range consumed {
+		total += c
+	}
+	return total
+}
+
+// DrainBudget subtracts in map order: subtraction chains are just as
+// order-sensitive as addition chains.
+func DrainBudget(spent map[string]float64) float64 {
+	budget := 1.0
+	for _, s := range spent {
+		budget -= s
+	}
+	return budget
+}
+
+type health struct {
+	score float64
+}
+
+// FoldIntoField accumulates through a selector: the struct outlives the
+// loop, so its field carries the order-dependent sum out.
+func FoldIntoField(h *health, scores map[int]float64) {
+	for _, s := range scores {
+		h.score += s
+	}
+}

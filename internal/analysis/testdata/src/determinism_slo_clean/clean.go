@@ -1,0 +1,53 @@
+// Package determinism_slo_clean is a known-clean fixture for the float-
+// accumulation rule of the determinism analyzer: every function either
+// accumulates associatively, iterates a deterministic order, or keeps the
+// accumulator inside the loop iteration.
+package determinism_slo_clean
+
+import "sort"
+
+// CountBad accumulates integers across map iteration: integer addition is
+// associative, so the order cannot change the result.
+func CountBad(bad map[string]int) int {
+	total := 0
+	for _, b := range bad {
+		total += b
+	}
+	return total
+}
+
+// SumSorted folds floats over sorted keys: the iteration order is pinned,
+// so the addition chain is identical every run.
+func SumSorted(consumed map[string]float64) float64 {
+	keys := make([]string, 0, len(consumed))
+	for k := range consumed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += consumed[k]
+	}
+	return total
+}
+
+// SumSlice folds floats over a slice: slices iterate in index order.
+func SumSlice(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// PerEntryScale keeps the float accumulator inside the loop body: it dies
+// with each iteration, so no order-dependent value escapes.
+func PerEntryScale(weights map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(weights))
+	for k, w := range weights {
+		scaled := 0.0
+		scaled += 2 * w
+		out[k] = scaled
+	}
+	return out
+}

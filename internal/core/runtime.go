@@ -67,7 +67,7 @@ type Task struct {
 	LastP99US       float64
 	QoSFrac         *metrics.Series // fraction of queries meeting QoS per tick
 	QPSSeries       *metrics.Series
-	LatencyDist     *metrics.Distribution // per-query latency samples (weighted)
+	LatencyDist     *metrics.Histogram // streaming per-tick p99 samples, O(buckets) memory
 
 	// Batch statistics.
 	RateSeries *metrics.Series
@@ -168,6 +168,12 @@ type Runtime struct {
 	detOpts *DetectorOptions
 	missed  []int
 
+	// tickListeners run on the sim goroutine after each tick sweep (task
+	// advancement + manager OnTick), in registration order. Monitoring
+	// layers (internal/slo) subscribe here so they observe the
+	// post-decision state of every tick.
+	tickListeners []func(now float64)
+
 	stopTick, stopSample, stopHB func()
 }
 
@@ -259,7 +265,7 @@ func (rt *Runtime) Submit(w *workload.Instance, at float64, load loadgen.Pattern
 		QoSFrac:       &metrics.Series{Name: w.ID + "/qos"},
 		QPSSeries:     &metrics.Series{Name: w.ID + "/qps"},
 		RateSeries:    &metrics.Series{Name: w.ID + "/rate"},
-		LatencyDist:   &metrics.Distribution{},
+		LatencyDist:   metrics.NewHistogram(0.01),
 		UsedPlatforms: make(map[string]bool),
 		placements:    make(map[int]*cluster.Placement),
 	}
@@ -462,6 +468,19 @@ func (rt *Runtime) tick(now float64) {
 	if rt.manager != nil {
 		rt.manager.OnTick(now)
 	}
+	for _, fn := range rt.tickListeners {
+		fn(now)
+	}
+}
+
+// TickSecs returns the monitoring tick granularity.
+func (rt *Runtime) TickSecs() float64 { return rt.opts.TickSecs }
+
+// AddTickListener subscribes fn to the end of every tick sweep. Listeners
+// run after the manager's OnTick, in registration order, on the sim
+// goroutine.
+func (rt *Runtime) AddTickListener(fn func(now float64)) {
+	rt.tickListeners = append(rt.tickListeners, fn)
 }
 
 func (rt *Runtime) tickBatch(t *Task, now, dt float64) {
@@ -500,8 +519,9 @@ func (rt *Runtime) tickService(t *Task, now float64) {
 	t.LastP99US = p99
 	t.QPSSeries.Add(now, achieved)
 	// Skip the placement warm-up: latency percentiles should describe the
-	// served steady state, not the seconds before capacity exists.
-	if now-t.StartAt > 600 && t.LatencyDist.N() < 2_000_000 {
+	// served steady state, not the seconds before capacity exists. The
+	// streaming histogram is bounded-memory, so no sample cap is needed.
+	if now-t.StartAt > 600 {
 		t.LatencyDist.Add(p99)
 	}
 

@@ -175,15 +175,19 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 			SpeedupPct: 100 * (b - q) / b,
 		}
 		res.Jobs = append(res.Jobs, jr)
+	}
+	// Deterministic order for printing — and for the mean computations
+	// below: float addition is order-sensitive, so summing in map order
+	// would let the means' low bits drift run to run.
+	sortJobs(res.Jobs)
+	for _, jr := range res.Jobs {
 		sumSpeed += jr.SpeedupPct
-		gap := (q - targets[id]) / targets[id]
+		gap := (jr.Quasar - jr.TargetSecs) / jr.TargetSecs
 		if gap < 0 {
 			gap = -gap
 		}
 		sumGap += gap
 	}
-	// Deterministic order for printing.
-	sortJobs(res.Jobs)
 	n := float64(len(res.Jobs))
 	res.MeanSpeedupPct = sumSpeed / n
 	res.MeanQuasarGap = 100 * sumGap / n

@@ -24,7 +24,7 @@ func tinyTracedScenario(t *testing.T) *obs.Tracer {
 		Hadoop: 1, Spark: 1, Storm: 0, Services: 2, SingleNode: 4, BestEffort: 6,
 		HorizonSecs: 3000, Seed: 7,
 	}
-	s, err := obsBenchRun(cfg, true)
+	s, err := obsBenchRun(cfg, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,10 +50,12 @@ type ObsBenchResult struct {
 }
 
 // obsBenchRun executes one full scenario and returns it (for event counts).
-func obsBenchRun(cfg ObsBenchConfig, traced bool) (*Scenario, error) {
+// The same Table 2-sized run backs both overhead benchmarks: tracer on/off
+// here, SLO engine on/off in SLOBench.
+func obsBenchRun(cfg ObsBenchConfig, traced, slo bool) (*Scenario, error) {
 	s, err := NewScenario(ScenarioConfig{
 		Cluster: Local40, Manager: KindQuasar, Seed: cfg.Seed,
-		MaxNodes: 4, SeedLib: 3, Trace: traced,
+		MaxNodes: 4, SeedLib: 3, Trace: traced, SLO: slo,
 	})
 	if err != nil {
 		return nil, err
@@ -115,7 +117,7 @@ func ObsBench(cfg ObsBenchConfig) (*ObsBenchResult, error) {
 		var last *Scenario
 		for i := 0; i < cfg.Repeats; i++ {
 			start := wallClock()
-			s, err := obsBenchRun(cfg, traced)
+			s, err := obsBenchRun(cfg, traced, false)
 			elapsed := wallClock().Sub(start).Seconds()
 			if err != nil {
 				return 0, nil, err

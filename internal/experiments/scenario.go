@@ -17,6 +17,7 @@ import (
 	"quasar/internal/obs"
 	"quasar/internal/perfmodel"
 	"quasar/internal/sim"
+	"quasar/internal/slo"
 	"quasar/internal/workload"
 )
 
@@ -97,6 +98,10 @@ type Scenario struct {
 	// Tracer is non-nil when the scenario was built with Trace set; it
 	// collects the run's full event log and metrics registry.
 	Tracer *obs.Tracer
+
+	// SLO is non-nil when the scenario was built with SLO set; it monitors
+	// every non-best-effort workload against its declared target.
+	SLO *slo.Engine
 }
 
 // ScenarioConfig configures scenario assembly.
@@ -110,6 +115,7 @@ type ScenarioConfig struct {
 	MaxNodes    int  // per-job scale-out bound
 	Misestimate bool // reservation misestimation for baseline kinds
 	Trace       bool // collect a structured event trace of the run
+	SLO         bool // attach the SLO monitoring engine (works with or without Trace)
 }
 
 // NewScenario builds the world.
@@ -165,6 +171,11 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		rt.SetTracer(s.Tracer)
 	}
 	rt.SetManager(s.Mgr)
+	if cfg.SLO {
+		// After SetManager so the SLO tick listener observes post-manager
+		// state; s.Tracer may be nil (monitoring without event emission).
+		s.SLO = slo.Attach(rt, s.Tracer, slo.DefaultOptions())
+	}
 	return s, nil
 }
 

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestSLOBenchOverheadBounded checks the PR's performance bar: attaching the
+// SLO engine to a full Table 2-sized run must cost under 5% wall time.
+// Wall-clock comparisons are noisy in CI, so the bound gets a few attempts
+// before the test fails.
+func TestSLOBenchOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("times the bench mix several times over")
+	}
+	const limit = 0.05
+	cfg := DefaultSLOBenchConfig()
+	// A shorter horizon and fewer repeats keep the timing loop tolerable
+	// while still exercising thousands of monitored ticks per mode.
+	cfg.Mix.HorizonSecs = 8000
+	cfg.Mix.Repeats = 2
+	var last *SLOBenchResult
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err := SLOBench(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+		if res.OverheadFrac < limit {
+			if res.TrackedWorkloads == 0 {
+				t.Fatalf("monitored run tracked no workloads: %+v", res)
+			}
+			return
+		}
+		t.Logf("attempt %d: slo overhead %.1f%% (off %.3fs, on %.3fs)",
+			attempt, 100*res.OverheadFrac, res.OffSecs, res.OnSecs)
+	}
+	t.Errorf("slo overhead %.1f%% exceeds %.0f%% on every attempt (off %.3fs, on %.3fs)",
+		100*last.OverheadFrac, 100*limit, last.OffSecs, last.OnSecs)
+}

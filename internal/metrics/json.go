@@ -53,6 +53,42 @@ func (d *Distribution) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// histogramJSON is the wire shape of a Histogram. Buckets are stored as the
+// sorted parallel index/count slices, so output is byte-stable and
+// Unmarshal(Marshal(h)) reproduces h's observable state exactly.
+type histogramJSON struct {
+	RelErr float64  `json:"rel_err"`
+	Idx    []int32  `json:"idx"`
+	Cnt    []uint64 `json:"cnt"`
+	Zero   uint64   `json:"zero"`
+	Count  uint64   `json:"count"`
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		RelErr: h.alpha, Idx: h.idx, Cnt: h.cnt,
+		Zero: h.zero, Count: h.count, Min: h.min, Max: h.max,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.alpha = w.RelErr
+	h.idx, h.cnt = w.Idx, w.Cnt
+	h.zero, h.count, h.min, h.max = w.Zero, w.Count, w.Min, w.Max
+	if h.alpha > 0 && h.alpha < 1 {
+		h.derive()
+	}
+	return nil
+}
+
 // heatmapJSON is the wire shape of a Heatmap.
 type heatmapJSON struct {
 	Rows  int         `json:"rows"`

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // The JSONL export is the canonical machine-readable log: one JSON object per
@@ -32,7 +33,13 @@ func (a argsObject) MarshalJSON() ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := json.Marshal(kv.Val)
+		val := kv.Val
+		// JSON has no literal for non-finite floats; a crashed server's
+		// infinite p99 still has to export, so render them as strings.
+		if f, ok := val.(float64); ok && (math.IsInf(f, 0) || math.IsNaN(f)) {
+			val = fmt.Sprintf("%g", f)
+		}
+		v, err := json.Marshal(val)
 		if err != nil {
 			return nil, fmt.Errorf("obs: arg %q: %w", kv.Key, err)
 		}
@@ -89,6 +96,8 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 				m.Kind, m.Value = "series", e.series
 			case kindDistribution:
 				m.Kind, m.Value = "distribution", e.dist
+			case kindHistogram:
+				m.Kind, m.Value = "histogram", e.hist
 			case kindHeatmap:
 				m.Kind, m.Value = "heatmap", e.heat
 			}

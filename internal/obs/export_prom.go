@@ -25,6 +25,48 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// promHelp escapes HELP text per the exposition format: backslash and
+// newline must be escaped (a raw newline would terminate the comment line
+// and corrupt the scrape).
+func promHelp(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			_, _ = b.WriteString(`\\`)
+		case '\n':
+			_, _ = b.WriteString(`\n`)
+		default:
+			_, _ = b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabelValue escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func promLabelValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			_, _ = b.WriteString(`\\`)
+		case '"':
+			_, _ = b.WriteString(`\"`)
+		case '\n':
+			_, _ = b.WriteString(`\n`)
+		default:
+			_, _ = b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabel renders one {name="value"} label set with the value escaped.
+func promLabel(name, value string) string {
+	return fmt.Sprintf(`{%s="%s"}`, promName(name), promLabelValue(value))
+}
+
 // promName sanitizes a metric name to the [a-zA-Z_:][a-zA-Z0-9_:]* charset.
 func promName(name string) string {
 	var b strings.Builder
@@ -47,7 +89,7 @@ func WritePromSnapshot(w io.Writer, t *Tracer) error {
 	bw := bufio.NewWriter(w)
 	head := func(name, help, typ string) {
 		if help != "" {
-			_, _ = fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+			_, _ = fmt.Fprintf(bw, "# HELP %s %s\n", name, promHelp(help))
 		}
 		_, _ = fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
 	}
@@ -81,9 +123,16 @@ func WritePromSnapshot(w io.Writer, t *Tracer) error {
 			case kindDistribution:
 				head(name, e.help, "summary")
 				for _, q := range []float64{50, 90, 99} {
-					sample(name, fmt.Sprintf(`{quantile="0.%d"}`, int(q)), e.dist.Percentile(q))
+					sample(name, promLabel("quantile", fmt.Sprintf("0.%d", int(q))), e.dist.Percentile(q))
 				}
 				sample(name+"_count", "", float64(e.dist.N()))
+			case kindHistogram:
+				head(name, e.help, "summary")
+				for _, q := range []float64{50, 90, 99} {
+					sample(name, promLabel("quantile", fmt.Sprintf("0.%d", int(q))), e.hist.Percentile(q))
+				}
+				sample(name+"_count", "", float64(e.hist.N()))
+				sample(name+"_buckets", "", float64(e.hist.Buckets()))
 			case kindHeatmap:
 				head(name, e.help, "gauge")
 				sample(name+"_mean", "", e.heat.MeanOverall())

@@ -12,6 +12,7 @@ const (
 	kindGauge
 	kindSeries
 	kindDistribution
+	kindHistogram
 	kindHeatmap
 )
 
@@ -49,6 +50,7 @@ type entry struct {
 	gauge   func() float64
 	series  *metrics.Series
 	dist    *metrics.Distribution
+	hist    *metrics.Histogram
 	heat    *metrics.Heatmap
 }
 
@@ -116,6 +118,16 @@ func (r *Registry) Distribution(name, help string, d *metrics.Distribution) {
 		return
 	}
 	r.add(entry{name: name, help: help, kind: kindDistribution, dist: d})
+}
+
+// Histogram registers a metrics.Histogram (the bounded-memory streaming
+// percentile tracker); snapshots export count and p50/p90/p99 quantiles,
+// and the JSONL exporter embeds the full bucket state.
+func (r *Registry) Histogram(name, help string, h *metrics.Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.add(entry{name: name, help: help, kind: kindHistogram, hist: h})
 }
 
 // Heatmap registers a metrics.Heatmap; snapshots export its overall mean.

@@ -1,0 +1,46 @@
+package slo
+
+import (
+	"fmt"
+	"io"
+)
+
+// fprintf writes formatted report output, ignoring errors (report
+// rendering).
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// Report writes a human-readable SLO summary: per-workload budget status,
+// the alert episode log, and the latest health picture. Iteration orders
+// are the engine's deterministic orders, so the report is byte-stable.
+func (e *Engine) Report(w io.Writer) {
+	fprintf(w, "SLO report: %d workloads monitored, %d alerts fired (%d still active)\n",
+		e.Tracked(), len(e.episodes), e.ActiveAlerts())
+
+	fprintf(w, "  %-14s %-8s %6s %10s %10s %10s\n",
+		"workload", "class", "goal", "bad-ticks", "ticks", "budget-used")
+	for _, b := range e.Budgets() {
+		fprintf(w, "  %-14s %-8s %6.2f %10d %10d %9.0f%%\n",
+			b.Workload, b.Class, b.Goal, b.BadTicks, b.Ticks, 100*b.Consumed)
+	}
+
+	if len(e.episodes) > 0 {
+		fprintf(w, "  alerts:\n")
+		for _, ep := range e.episodes {
+			if ep.Open() {
+				fprintf(w, "    t=%8.0fs  %-6s %-14s ACTIVE (peak burn n/a yet)\n",
+					ep.FireAt, ep.Rule, ep.Workload)
+				continue
+			}
+			fprintf(w, "    t=%8.0fs  %-6s %-14s resolved after %.0fs (peak burn %.1fx)\n",
+				ep.FireAt, ep.Rule, ep.Workload, ep.ResolveAt-ep.FireAt, ep.PeakBurn)
+		}
+	}
+
+	if n := e.ClusterHealth.Len(); n > 0 {
+		last := e.ClusterHealth.Vals[n-1]
+		fprintf(w, "  cluster health: %.3f latest, %.3f mean over run\n",
+			last, e.ClusterHealth.Mean())
+	}
+}

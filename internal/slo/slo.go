@@ -1,0 +1,161 @@
+// Package slo implements deterministic SLO monitoring over the simulated
+// cluster. Quasar's premise is that users declare performance targets, not
+// reservations — so every workload carries an implicit SLO. This package
+// makes that SLO explicit and continuously monitored, the way an operator
+// would page on it:
+//
+//   - Per workload, an error budget is derived from the declared target
+//     (QPS + tail latency for services, completion deadline for analytics,
+//     IPS for single-node) and a per-class availability goal. Each
+//     monitoring tick is classified good or bad against the target; the
+//     budget is the tolerated bad fraction.
+//   - Google-SRE-style multi-window multi-burn-rate rules evaluate the bad
+//     fraction over a long and a short window. A fast-burn rule (page)
+//     catches sharp regressions within seconds; a slow-burn rule (ticket)
+//     catches budget leaks a human should look at this week. Firing
+//     requires BOTH windows above threshold — the long window supplies
+//     evidence, the short window confirms the problem is still happening.
+//     Hysteresis (resolve fraction + hold time) stops alert flapping.
+//   - Per server and cluster-wide, a health score blends utilization
+//     overload, interference pressure, failure-detector belief, and the
+//     mass of active alerts on resident workloads into one [0,1] number.
+//
+// Determinism contract. The engine runs entirely on the simulation clock,
+// driven by a runtime tick listener. Per-workload evaluation is fanned out
+// with par.ParFor over obs.Shards and merged in input (submission) order;
+// counters, the episode log, and health sweeps are applied sequentially
+// after the merge. No RNG is consumed: alerting is a pure function of the
+// observed stream, so the alert stream and health scores are byte-identical
+// for any -workers count.
+package slo
+
+// BurnRule is one multi-window burn-rate alerting rule. The burn rate over
+// a window is (bad fraction over the window) / (error budget); a burn of 1
+// consumes the budget exactly at the tolerated pace, a burn of 10 exhausts
+// it 10x too fast. The rule fires when the burn over BOTH windows reaches
+// Burn.
+type BurnRule struct {
+	// Name labels the rule in events and reports ("page", "ticket").
+	Name string
+	// LongSecs is the evidence window.
+	LongSecs float64
+	// ShortSecs is the confirmation window; it also drives resolution.
+	ShortSecs float64
+	// Burn is the firing threshold in budget-burn multiples.
+	Burn float64
+}
+
+// Default burn-rate rules, following the SRE-workbook shape scaled to
+// simulation time: the page catches a hard outage in ~30s of continuous
+// badness (long window x threshold x budget), well inside the heartbeat
+// detector's 40s dead window; the ticket catches slow leaks that would
+// quietly eat the budget.
+func defaultRules() []BurnRule {
+	return []BurnRule{
+		{Name: "page", LongSecs: 300, ShortSecs: 60, Burn: 10},
+		{Name: "ticket", LongSecs: 1800, ShortSecs: 300, Burn: 2},
+	}
+}
+
+// Options configures the SLO engine. The zero value selects the defaults
+// documented on each field.
+type Options struct {
+	// Rules are the burn-rate rules evaluated per workload, in severity
+	// order. Default: a fast-burn page (300s/60s windows, burn 10) and a
+	// slow-burn ticket (1800s/300s windows, burn 2).
+	Rules []BurnRule
+
+	// GoalLC is the availability goal for latency-critical services
+	// (default 0.99: budget = 1% of ticks may miss QoS).
+	GoalLC float64
+	// GoalBatch is the goal for analytics and single-node workloads
+	// (default 0.95: their targets are softer deadlines).
+	GoalBatch float64
+
+	// WarmupSecs skips SLI evaluation for this long after a workload
+	// starts (default 600s, matching the runtime's latency-distribution
+	// warm-up): placement ramp-up is not an SLO violation.
+	WarmupSecs float64
+
+	// ResolveFrac and ResolveHoldSecs implement hysteresis: an active
+	// alert resolves only after the short-window burn stays at or below
+	// ResolveFrac x threshold for ResolveHoldSecs (defaults 0.5 and 60s).
+	ResolveFrac     float64
+	ResolveHoldSecs float64
+
+	// HealthEverySecs is the health-score sweep period (default 60s).
+	HealthEverySecs float64
+
+	// Workers bounds the per-tick evaluation fan-out (0 = par default).
+	Workers int
+	// ParThreshold is the minimum number of tracked workloads before the
+	// engine fans out; below it evaluation runs on one worker (default 8).
+	// The emission path is identical either way, so traces do not depend
+	// on it.
+	ParThreshold int
+}
+
+// QoSMetFraction is the met-fraction below which a latency-critical tick
+// counts against the budget. It matches the runtime's qos-met<->miss edge
+// threshold so alerts and trace edges tell one story.
+const QoSMetFraction = 0.95
+
+// DefaultOptions returns the documented defaults.
+func DefaultOptions() Options {
+	return Options{
+		Rules:           defaultRules(),
+		GoalLC:          0.99,
+		GoalBatch:       0.95,
+		WarmupSecs:      600,
+		ResolveFrac:     0.5,
+		ResolveHoldSecs: 60,
+		HealthEverySecs: 60,
+		ParThreshold:    8,
+	}
+}
+
+// normalized fills zero fields with defaults.
+func (o Options) normalized() Options {
+	d := DefaultOptions()
+	if len(o.Rules) == 0 {
+		o.Rules = d.Rules
+	}
+	if o.GoalLC <= 0 || o.GoalLC >= 1 {
+		o.GoalLC = d.GoalLC
+	}
+	if o.GoalBatch <= 0 || o.GoalBatch >= 1 {
+		o.GoalBatch = d.GoalBatch
+	}
+	if o.WarmupSecs < 0 {
+		o.WarmupSecs = 0
+	} else if o.WarmupSecs == 0 { //lint:allow(floatcmp) zero is the unset sentinel, not a computed value
+		o.WarmupSecs = d.WarmupSecs
+	}
+	if o.ResolveFrac <= 0 || o.ResolveFrac >= 1 {
+		o.ResolveFrac = d.ResolveFrac
+	}
+	if o.ResolveHoldSecs <= 0 {
+		o.ResolveHoldSecs = d.ResolveHoldSecs
+	}
+	if o.HealthEverySecs <= 0 {
+		o.HealthEverySecs = d.HealthEverySecs
+	}
+	if o.ParThreshold <= 0 {
+		o.ParThreshold = d.ParThreshold
+	}
+	return o
+}
+
+// Episode is one fired alert from fire to resolution.
+type Episode struct {
+	Workload string
+	Rule     string
+	FireAt   float64
+	// ResolveAt is negative while the alert is still active.
+	ResolveAt float64
+	// PeakBurn is the highest long-window burn observed while active.
+	PeakBurn float64
+}
+
+// Open reports whether the episode is still active.
+func (ep Episode) Open() bool { return ep.ResolveAt < 0 }
