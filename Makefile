@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-parallel bench-obs bench-chaos bench-slo trace-diff trace-diff-chaos trace-diff-slo fmt-check ci
+.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo trace-diff trace-diff-chaos trace-diff-slo fmt-check ci
 
 all: build
 
@@ -23,9 +23,18 @@ lint: fmt-check
 	$(GO) vet ./...
 	$(GO) run ./cmd/quasar-lint ./...
 
+## lint-hotpath: the hot-path static-analysis suite alone, machine-readable
+lint-hotpath:
+	$(GO) run ./cmd/quasar-lint -json ./...
+
 ## bench: run the repository benchmarks
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+## bench-alloc: measure allocs/op on the hot roots, refresh BENCH_alloc.json,
+## and fail on any count over its committed budget
+bench-alloc:
+	$(GO) run ./cmd/quasar-bench -allocbench-out BENCH_alloc.json allocbench
 
 ## bench-parallel: time sequential vs parallel fan-out, refresh BENCH_parallel.json
 bench-parallel:

@@ -25,6 +25,11 @@
 // times a scenario with the SLO engine off vs on and writes the overhead
 // record to -slobench-out (default BENCH_slo.json).
 //
+// The "allocbench" artifact (not in the default suite) measures heap
+// allocations per operation on the hot roots declared in hotpath.json and
+// writes the record to -allocbench-out (default BENCH_alloc.json); counts
+// over the committed budgets exit non-zero.
+//
 // The -quick flag shrinks every scenario (fewer workloads, shorter
 // horizons) for a fast smoke pass.
 package main
@@ -47,6 +52,7 @@ func main() {
 	obsbenchOut := flag.String("obsbench-out", "BENCH_obs.json", "output path for the obsbench artifact")
 	chaosbenchOut := flag.String("chaosbench-out", "BENCH_chaos.json", "output path for the chaosbench artifact")
 	slobenchOut := flag.String("slobench-out", "BENCH_slo.json", "output path for the slobench artifact")
+	allocbenchOut := flag.String("allocbench-out", "BENCH_alloc.json", "output path for the allocbench artifact")
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
 
@@ -228,6 +234,17 @@ func main() {
 			die(err)
 			res.Print(os.Stdout)
 			die(res.WriteJSON(*slobenchOut))
+		case "allocbench":
+			cfg := experiments.DefaultAllocBenchConfig()
+			if *quick {
+				cfg.Runs = 50
+				cfg.WarmTicks = 100
+			}
+			res, err := experiments.AllocBench(cfg)
+			die(err)
+			res.Print(os.Stdout)
+			die(res.WriteJSON(*allocbenchOut))
+			die(res.Check())
 		case "obsbench":
 			cfg := experiments.DefaultObsBenchConfig()
 			if *quick {

@@ -72,7 +72,7 @@ func (a *Analyzer) appliesTo(pkgPath string) bool {
 
 // All returns the repository's analyzer suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, FloatCmp, SnapshotDrift, ErrDiscard}
+	return []*Analyzer{Determinism, FloatCmp, SnapshotDrift, ErrDiscard, HotAlloc, LockCheck, ParCapture}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -80,6 +80,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Hot is the hot-path reachability set computed for this run (see
+	// callgraph.go); nil when reachability could not be established.
+	// Hot-path analyzers gate their findings on it.
+	Hot *HotSet
 
 	diags []Diagnostic
 }
@@ -93,18 +97,71 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Config parameterizes a run. The zero value (or a nil *Config) runs with
+// no declared hot roots; //quasar:hot markers still seed the hot set, which
+// is how fixture packages exercise the hot-path analyzers.
+type Config struct {
+	// HotRoots are canonical function keys (see FuncKey) declared as
+	// hot-path entry points, normally read from hotpath.json.
+	HotRoots []string
+	// HotStops are canonical function keys fencing the reachability
+	// traversal: the named function and everything only it reaches stay
+	// cold. Each stop in hotpath.json carries a justification.
+	HotStops []string
+}
+
 // Run applies analyzers to pkgs, honoring analyzer scopes and
 // //lint:allow suppressions, and returns diagnostics sorted by position
 // then analyzer name.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	diags, _, err := RunConfigured(fset, pkgs, analyzers, nil)
+	if err != nil {
+		// Without a config there are no root keys to mismatch; the only
+		// error source is unreachable here.
+		panic(err)
+	}
+	return diags
+}
+
+// RunConfigured is Run with hot-path configuration. It returns the
+// diagnostics and the computed hot set (for the -hotpath report).
+// Configured root/stop keys that resolve to no function in the loaded
+// packages are dropped from the traversal and recorded in
+// HotSet.Unresolved: a partial package pattern legitimately excludes roots
+// living elsewhere in the module, but on a full-module run every entry is
+// a stale hotpath.json key and callers should surface it.
+func RunConfigured(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, *HotSet, error) {
+	graph := BuildCallGraph(fset, pkgs)
+	var roots, stops, unresolved []string
+	if cfg != nil {
+		keep := func(keys []string) []string {
+			var have []string
+			for _, k := range keys {
+				if graph.KnownKey(k) {
+					have = append(have, k)
+				} else {
+					unresolved = append(unresolved, k)
+				}
+			}
+			return have
+		}
+		roots, stops = keep(cfg.HotRoots), keep(cfg.HotStops)
+	}
+	hot, err := graph.Reachable(roots, stops)
+	if err != nil {
+		return nil, nil, err
+	}
+	hot.Unresolved = unresolved
+	out := append([]Diagnostic(nil), graph.diags...)
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(fset, pkg)
+		var ran []*Analyzer
 		for _, a := range analyzers {
 			if !pkg.Explicit && !a.appliesTo(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg}
+			ran = append(ran, a)
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Hot: hot}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if !sup.allows(d) {
@@ -112,6 +169,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 				}
 			}
 		}
+		out = append(out, sup.unused(ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -129,42 +187,103 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, hot, nil
 }
 
-// suppressions maps filename -> line -> set of analyzer names allowed
-// there. The special name "*" allows every analyzer.
-type suppressions map[string]map[int]map[string]bool
+// directive is one //lint:allow(...) comment with per-name usage tracking:
+// a directive that suppresses nothing is itself a finding (stale
+// suppressions would silently mask future regressions).
+type directive struct {
+	pos   token.Position
+	names []string
+	used  map[string]bool
+}
 
-func (s suppressions) allows(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
+// suppressions indexes a package's //lint:allow directives by the lines
+// they cover: the directive's own line (trailing comments) and the line
+// below it (comments on their own line above the offending statement).
+type suppressions struct {
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+// allows reports whether some directive covers d, marking the matching
+// name used. The special name "*" allows every analyzer.
+func (s *suppressions) allows(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	set := lines[d.Pos.Line]
-	return set != nil && (set[d.Analyzer] || set["*"])
+	hit := false
+	for _, dir := range lines[d.Pos.Line] {
+		for _, name := range dir.names {
+			if name == d.Analyzer || name == "*" {
+				dir.used[name] = true
+				hit = true
+			}
+		}
+	}
+	return hit
 }
 
-func (s suppressions) add(file string, line int, analyzer string) {
-	lines := s[file]
+// unused reports a diagnostic for every directive name that named one of
+// the analyzers that actually ran here yet suppressed nothing. Names of
+// analyzers outside this run (a partial -analyzers invocation, a
+// single-analyzer golden test) are left alone — absence of findings proves
+// nothing when the analyzer never looked.
+func (s *suppressions) unused(ran []*Analyzer) []Diagnostic {
+	ranNames := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, dir := range s.all {
+		for _, name := range dir.names {
+			if dir.used[name] {
+				continue
+			}
+			if name == "*" {
+				if len(dir.used) == 0 && len(ran) > 0 {
+					out = append(out, Diagnostic{
+						Pos:      dir.pos,
+						Analyzer: "unusedallow",
+						Message:  "unused //lint:allow(*) suppression: no analyzer reports anything here; remove the stale annotation",
+					})
+				}
+				continue
+			}
+			if !ranNames[name] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "unusedallow",
+				Message: fmt.Sprintf("unused //lint:allow(%s) suppression: %s reports nothing here; remove the stale annotation",
+					name, name),
+			})
+		}
+	}
+	return out
+}
+
+func (s *suppressions) add(dir *directive) {
+	if s.byLine == nil {
+		s.byLine = make(map[string]map[int][]*directive)
+	}
+	lines := s.byLine[dir.pos.Filename]
 	if lines == nil {
-		lines = make(map[int]map[string]bool)
-		s[file] = lines
+		lines = make(map[int][]*directive)
+		s.byLine[dir.pos.Filename] = lines
 	}
-	set := lines[line]
-	if set == nil {
-		set = make(map[string]bool)
-		lines[line] = set
-	}
-	set[analyzer] = true
+	lines[dir.pos.Line] = append(lines[dir.pos.Line], dir)
+	lines[dir.pos.Line+1] = append(lines[dir.pos.Line+1], dir)
+	s.all = append(s.all, dir)
 }
 
 // collectSuppressions scans every comment in the package for
-// //lint:allow(...) directives. A directive covers its own line (trailing
-// comments) and the following line (comments on their own line above the
-// offending statement).
-func collectSuppressions(fset *token.FileSet, pkg *Package) suppressions {
-	sup := make(suppressions)
+// //lint:allow(...) directives.
+func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
+	sup := &suppressions{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -172,11 +291,11 @@ func collectSuppressions(fset *token.FileSet, pkg *Package) suppressions {
 				if !ok {
 					continue
 				}
-				pos := fset.Position(c.Pos())
-				for _, name := range names {
-					sup.add(pos.Filename, pos.Line, name)
-					sup.add(pos.Filename, pos.Line+1, name)
-				}
+				sup.add(&directive{
+					pos:   fset.Position(c.Pos()),
+					names: names,
+					used:  make(map[string]bool),
+				})
 			}
 		}
 	}

@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the lightweight interprocedural call graph that powers
+// the hot-path analyzers (hotalloc and the -hotpath report). The graph is
+// intentionally modest — stdlib go/ast + go/types only, no SSA — but it
+// resolves enough edges to map the simulator's per-tick loops:
+//
+//   - direct calls (f(), pkg.F()) and method calls with concrete receivers;
+//   - interface method calls, expanded to every module-local concrete type
+//     implementing the interface (how Runtime.tick reaches the managers and
+//     OfferedLoad reaches each loadgen.Pattern);
+//   - function references (a func name passed as a value, e.g. a tick
+//     callback handed to Ticker) — a reference edge, since the callee runs
+//     wherever the value is invoked;
+//   - function literals, attributed to the enclosing declaration: a closure
+//     body is part of the function that builds it.
+//
+// Two source directives refine the graph:
+//
+//	//quasar:hot [reason]   on a FuncDecl declares an extra hot root
+//	                        (used by fixtures and by code whose callers the
+//	                        graph cannot see).
+//	//quasar:cold reason    on a FuncDecl fences a traversal boundary: the
+//	                        function and everything only it reaches stay
+//	                        cold. The reason is mandatory — a boundary is an
+//	                        auditable claim that the path is off the hot
+//	                        loop (e.g. runs only when tracing is enabled).
+type CallGraph struct {
+	fset  *token.FileSet
+	nodes map[*types.Func]*cgNode
+	// edges maps caller -> callee set, over both declared and abstract
+	// (interface-method) functions.
+	edges map[*types.Func]map[*types.Func]bool
+	// marked are //quasar:hot roots; cold are //quasar:cold boundaries.
+	marked []*types.Func
+	cold   map[*types.Func]bool
+	// byKey indexes every known function (declared or abstract) by its
+	// canonical key, for hotpath.json root/stop resolution.
+	byKey map[string]*types.Func
+	// diags carries directive misuse findings (a //quasar:cold without a
+	// justification) into the analysis run.
+	diags []Diagnostic
+}
+
+// cgNode is a declared function with a body in the loaded packages.
+type cgNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// FuncKey renders a function's canonical key: "pkgpath.Func" for package
+// functions, "pkgpath.(*Recv).Method" / "pkgpath.Recv.Method" for methods
+// (pointer vs value receiver), and "pkgpath.Iface.Method" for interface
+// methods. hotpath.json roots and stops use exactly this form.
+func FuncKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkg + "." + fn.Name()
+	}
+	t := sig.Recv().Type()
+	star := false
+	if p, okp := t.(*types.Pointer); okp {
+		t = p.Elem()
+		star = true
+	}
+	name := "?"
+	switch tt := t.(type) {
+	case *types.Named:
+		name = tt.Obj().Name()
+	case *types.Interface:
+		name = "interface"
+	}
+	if star {
+		return fmt.Sprintf("%s.(*%s).%s", pkg, name, fn.Name())
+	}
+	return fmt.Sprintf("%s.%s.%s", pkg, name, fn.Name())
+}
+
+// BuildCallGraph constructs the call graph over the given type-checked
+// packages. Only module-local functions become nodes; calls into the
+// standard library or other dependencies are graph boundaries.
+func BuildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		fset:  fset,
+		nodes: make(map[*types.Func]*cgNode),
+		edges: make(map[*types.Func]map[*types.Func]bool),
+		cold:  make(map[*types.Func]bool),
+		byKey: make(map[string]*types.Func),
+	}
+	// Pass 1: register every declared function and its directives.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[obj] = &cgNode{fn: obj, decl: fd, pkg: pkg}
+				g.byKey[FuncKey(obj)] = obj
+				g.scanDirectives(obj, fd)
+			}
+		}
+	}
+	// Pass 2: add edges. Walking the whole declaration attributes function
+	// literals to the enclosing function, and recording every *types.Func
+	// use covers both calls and references-taken-as-values.
+	abstract := make(map[*types.Func]bool)
+	for fn, node := range g.nodes {
+		if node.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := node.pkg.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			g.addEdge(fn, callee)
+			if isAbstract(callee) {
+				abstract[callee] = true
+			}
+			return true
+		})
+	}
+	// Pass 3: expand abstract (interface-method) callees to every concrete
+	// module-local implementation: an edge iface.M -> (*T).M for each named
+	// type T whose pointer type implements the interface.
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if nt, ok := tn.Type().(*types.Named); ok && !types.IsInterface(nt) {
+				named = append(named, nt)
+			}
+		}
+	}
+	for m := range abstract {
+		g.byKey[FuncKey(m)] = m
+		iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, nt := range named {
+			pt := types.NewPointer(nt)
+			if !types.Implements(pt, iface) && !types.Implements(nt, iface) {
+				continue
+			}
+			sel := types.NewMethodSet(pt).Lookup(m.Pkg(), m.Name())
+			if sel == nil {
+				continue
+			}
+			if impl, ok := sel.Obj().(*types.Func); ok {
+				g.addEdge(m, impl)
+			}
+		}
+	}
+	return g
+}
+
+// isAbstract reports whether fn is an interface method (no body anywhere).
+func isAbstract(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+func (g *CallGraph) addEdge(from, to *types.Func) {
+	if from == to {
+		return
+	}
+	set := g.edges[from]
+	if set == nil {
+		set = make(map[*types.Func]bool)
+		g.edges[from] = set
+	}
+	set[to] = true
+}
+
+// scanDirectives records //quasar:hot and //quasar:cold markers from the
+// function's doc comment.
+func (g *CallGraph) scanDirectives(fn *types.Func, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	for _, c := range fd.Doc.List {
+		body, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		body = strings.TrimSpace(body)
+		switch {
+		case body == "quasar:hot" || strings.HasPrefix(body, "quasar:hot "):
+			g.marked = append(g.marked, fn)
+		case body == "quasar:cold" || strings.HasPrefix(body, "quasar:cold "):
+			reason := strings.TrimSpace(strings.TrimPrefix(body, "quasar:cold"))
+			if reason == "" {
+				g.diags = append(g.diags, Diagnostic{
+					Pos:      g.fset.Position(c.Pos()),
+					Analyzer: "hotpath",
+					Message:  "//quasar:cold boundary requires a justification (why this path is off the hot loop)",
+				})
+			}
+			g.cold[fn] = true
+		}
+	}
+}
+
+// HotSet is the set of functions reachable from the declared hot roots,
+// with the traversal fenced at //quasar:cold boundaries and declared stops.
+type HotSet struct {
+	g     *CallGraph
+	set   map[*types.Func]bool
+	roots map[*types.Func]bool
+	// Unresolved lists configured root/stop keys that named no function in
+	// the loaded packages. RunConfigured drops them (a partial package
+	// pattern legitimately excludes roots living elsewhere in the module)
+	// and records them here so full-module runs can treat any entry as a
+	// stale hotpath.json key.
+	Unresolved []string
+}
+
+// KnownKey reports whether key names a function in the graph.
+func (g *CallGraph) KnownKey(key string) bool {
+	_, ok := g.byKey[key]
+	return ok
+}
+
+// Reachable computes the hot set from the given root keys (hotpath.json)
+// plus every //quasar:hot-marked function, pruning traversal at stop keys
+// and //quasar:cold boundaries. Unknown root or stop keys are an error:
+// a silently unmatched root would quietly unfence the hot path.
+func (g *CallGraph) Reachable(rootKeys, stopKeys []string) (*HotSet, error) {
+	h := &HotSet{
+		g:     g,
+		set:   make(map[*types.Func]bool),
+		roots: make(map[*types.Func]bool),
+	}
+	stop := make(map[*types.Func]bool)
+	for _, key := range stopKeys {
+		fn, ok := g.byKey[key]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown hot-path stop %q (renamed or removed? keys look like %q)",
+				key, "quasar/internal/sim.(*Engine).Step")
+		}
+		stop[fn] = true
+	}
+	var queue []*types.Func
+	enqueue := func(fn *types.Func) {
+		if h.set[fn] || stop[fn] || g.cold[fn] {
+			return
+		}
+		h.set[fn] = true
+		queue = append(queue, fn)
+	}
+	for _, key := range rootKeys {
+		fn, ok := g.byKey[key]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown hot-path root %q (renamed or removed? keys look like %q)",
+				key, "quasar/internal/sim.(*Engine).Step")
+		}
+		h.roots[fn] = true
+		enqueue(fn)
+	}
+	for _, fn := range g.marked {
+		h.roots[fn] = true
+		enqueue(fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for callee := range g.edges[fn] {
+			enqueue(callee)
+		}
+	}
+	return h, nil
+}
+
+// Contains reports whether fn is hot-reachable.
+func (h *HotSet) Contains(fn *types.Func) bool { return h != nil && h.set[fn] }
+
+// ContainsDecl reports whether the given declaration in pkg is
+// hot-reachable. Function literals inside a hot declaration are hot by
+// attribution; analyzers therefore gate on the enclosing FuncDecl.
+func (h *HotSet) ContainsDecl(pkg *Package, fd *ast.FuncDecl) bool {
+	if h == nil {
+		return false
+	}
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	return ok && h.set[fn]
+}
+
+// HotFunc is one reachable function in the report listing.
+type HotFunc struct {
+	Key  string
+	Root bool
+	Pos  token.Position
+	End  token.Position
+}
+
+// Funcs lists the hot set's declared functions sorted by key. Abstract
+// interface methods traversed on the way are omitted — they have no body
+// to audit.
+func (h *HotSet) Funcs() []HotFunc {
+	var out []HotFunc
+	for fn := range h.set {
+		node, ok := h.g.nodes[fn]
+		if !ok {
+			continue
+		}
+		out = append(out, HotFunc{
+			Key:  FuncKey(fn),
+			Root: h.roots[fn],
+			Pos:  h.g.fset.Position(node.decl.Pos()),
+			End:  h.g.fset.Position(node.decl.End()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Len reports the number of hot-reachable declared functions.
+func (h *HotSet) Len() int {
+	n := 0
+	for fn := range h.set {
+		if _, ok := h.g.nodes[fn]; ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const hotpathFixturePkg = "quasar/internal/analysis/testdata/src/hotpath_src"
+
+// loadHotpathFixture type-checks the reachability fixture and builds its
+// call graph.
+func loadHotpathFixture(t *testing.T) (*Loader, *CallGraph) {
+	t.Helper()
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.Join("internal", "analysis", "testdata", "src", "hotpath_src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, BuildCallGraph(loader.Fset, pkgs)
+}
+
+func TestReachability(t *testing.T) {
+	_, g := loadHotpathFixture(t)
+	hot, err := g.Reachable(
+		[]string{hotpathFixturePkg + ".Root"},
+		[]string{hotpathFixturePkg + ".stopped"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantHot := []string{
+		"Root",          // declared root
+		"directA",       // direct call chain
+		"directB",       // transitive
+		"alpha.Do",      // interface dispatch, value receiver
+		"(*beta).Do",    // interface dispatch, pointer receiver
+		"deepHelper",    // transitive through the interface impl
+		"refTarget",     // function reference taken as a value
+		"closureHelper", // called from a closure built inside Root
+		"MarkedHot",     // //quasar:hot marker
+		"markedChild",   // transitive from the marker
+	}
+	wantCold := []string{
+		"coldBoundary", // //quasar:cold fences itself
+		"coldOnly",     // only reachable through the cold boundary
+		"stopped",      // declared stop key
+		"stoppedChild", // only reachable through the stop
+		"Unreached",    // no callers, no marker
+	}
+	got := make(map[string]bool)
+	for _, hf := range hot.Funcs() {
+		got[strings.TrimPrefix(hf.Key, hotpathFixturePkg+".")] = true
+	}
+	for _, name := range wantHot {
+		if !got[name] {
+			t.Errorf("expected %s in hot set; hot = %v", name, keysOf(got))
+		}
+	}
+	for _, name := range wantCold {
+		if got[name] {
+			t.Errorf("expected %s to stay cold; hot = %v", name, keysOf(got))
+		}
+	}
+	// The interface method itself is traversed but has no body; Funcs()
+	// omits it while Len() counts only declared functions.
+	if hot.Len() != len(hot.Funcs()) {
+		t.Errorf("Len() = %d, want %d (declared functions only)", hot.Len(), len(hot.Funcs()))
+	}
+}
+
+func TestReachabilityRoots(t *testing.T) {
+	_, g := loadHotpathFixture(t)
+	hot, err := g.Reachable([]string{hotpathFixturePkg + ".Root"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := make(map[string]bool)
+	for _, hf := range hot.Funcs() {
+		if hf.Root {
+			roots[strings.TrimPrefix(hf.Key, hotpathFixturePkg+".")] = true
+		}
+	}
+	// Declared key and //quasar:hot marker are roots; callees are not.
+	for _, want := range []string{"Root", "MarkedHot"} {
+		if !roots[want] {
+			t.Errorf("expected %s marked as root; roots = %v", want, keysOf(roots))
+		}
+	}
+	if roots["directA"] {
+		t.Error("directA is a callee, not a root")
+	}
+	// Without the stop key, the stopped chain becomes hot.
+	if !hot.Contains(g.byKey[hotpathFixturePkg+".stoppedChild"]) {
+		t.Error("without a stop key, stoppedChild should be hot-reachable")
+	}
+}
+
+func TestReachabilityUnknownKeys(t *testing.T) {
+	_, g := loadHotpathFixture(t)
+	if _, err := g.Reachable([]string{hotpathFixturePkg + ".NoSuchFunc"}, nil); err == nil {
+		t.Error("unknown root key should be an error")
+	}
+	if _, err := g.Reachable(nil, []string{hotpathFixturePkg + ".NoSuchFunc"}); err == nil {
+		t.Error("unknown stop key should be an error")
+	}
+}
+
+func TestFuncKeyForms(t *testing.T) {
+	_, g := loadHotpathFixture(t)
+	for _, want := range []string{
+		hotpathFixturePkg + ".Root",       // package function
+		hotpathFixturePkg + ".alpha.Do",   // value-receiver method
+		hotpathFixturePkg + ".(*beta).Do", // pointer-receiver method
+		hotpathFixturePkg + ".Worker.Do",  // interface method (abstract)
+	} {
+		if _, ok := g.byKey[want]; !ok {
+			t.Errorf("call graph has no key %q", want)
+		}
+	}
+}
+
+func keysOf(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

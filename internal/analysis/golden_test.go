@@ -34,6 +34,14 @@ var goldenCases = []struct {
 	{SnapshotDrift, "snapshotdrift_clean", false},
 	{ErrDiscard, "errdiscard_bad", true},
 	{ErrDiscard, "errdiscard_clean", false},
+	{HotAlloc, "hotalloc_bad", true},
+	{HotAlloc, "hotalloc_clean", false},
+	{LockCheck, "lockcheck_bad", true},
+	{LockCheck, "lockcheck_clean", false},
+	{ParCapture, "parcapture_bad", true},
+	{ParCapture, "parcapture_clean", false},
+	{FloatCmp, "unusedallow_bad", true},
+	{FloatCmp, "unusedallow_clean", false},
 }
 
 func TestGolden(t *testing.T) {

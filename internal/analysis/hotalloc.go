@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags allocation sources inside hot-path-reachable functions —
+// the per-tick simulation loops, the scheduler's ranking path, and the SLO
+// evaluation sweep, as declared in hotpath.json and computed by the call
+// graph (callgraph.go). Cold code is never flagged: an allocation is only
+// a defect where it multiplies by ticks x tasks x servers.
+//
+// Flagged on the hot path:
+//
+//  1. &T{...} — a composite literal whose address is taken escapes to the
+//     heap;
+//  2. slice and map composite literals, make, and new — direct
+//     allocations;
+//  3. append inside a loop — unbounded growth; preallocate with capacity
+//     or reuse a scratch buffer owned by the receiver;
+//  4. function literals that capture variables — each build of the closure
+//     allocates;
+//  5. fmt.* calls — formatting allocates and boxes every argument;
+//  6. calls passing arguments to an interface-typed variadic parameter
+//     (...any and friends) — the implicit argument slice allocates and
+//     each element boxes;
+//  7. range over a map — randomized-order, cache-hostile iteration that
+//     also blocks the determinism contract; hot loops iterate slices.
+//
+// Two escape hatches keep intentional slow paths quiet:
+//
+//   - statements guarded by an Enabled() check (`if tr.Enabled() { ... }`)
+//     are trace-only branches and are skipped;
+//   - a //quasar:cold directive on a function declares the whole function
+//     off the hot loop (with a mandatory justification), and a
+//     //lint:allow(hotalloc) annotation suppresses a single finding.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flags heap allocations on the declared hot path: escaping " +
+		"composite literals, make/new, append growth in loops, closure " +
+		"captures, fmt and interface boxing, and map iteration",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	if pass.Hot == nil {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Hot.ContainsDecl(pass.Pkg, fd) {
+				continue
+			}
+			checkHotAlloc(pass, fd)
+		}
+	}
+}
+
+// span is a half-open position range.
+type span struct{ from, to token.Pos }
+
+func (s span) contains(p token.Pos) bool { return p >= s.from && p <= s.to }
+
+// coldSpans collects statement ranges that are off the fast path even
+// inside a hot function:
+//
+//   - bodies of if-statements whose condition calls an Enabled() method —
+//     the tracer-off fast path never enters them;
+//   - bodies of if-statements that end by panicking — a guard clause's
+//     allocation (typically building the panic message) happens once,
+//     immediately before the program dies.
+func coldSpans(fd *ast.FuncDecl) []span {
+	var spans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || (!mentionsEnabledCall(ifs.Cond) && !endsInPanic(ifs.Body)) {
+			return true
+		}
+		spans = append(spans, span{from: ifs.Body.Pos(), to: ifs.Body.End()})
+		return true
+	})
+	return spans
+}
+
+// endsInPanic reports whether the block's final statement is a call to the
+// panic builtin.
+func endsInPanic(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	es, ok := block.List[len(block.List)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// mentionsEnabledCall reports whether expr contains a call to a method
+// named Enabled.
+func mentionsEnabledCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Enabled" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// loopSpans collects the body ranges of for and range statements, for the
+// append-growth rule.
+func loopSpans(fd *ast.FuncDecl) []span {
+	var spans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			spans = append(spans, span{from: s.Body.Pos(), to: s.Body.End()})
+		case *ast.RangeStmt:
+			spans = append(spans, span{from: s.Body.Pos(), to: s.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func inSpans(spans []span, p token.Pos) bool {
+	for _, s := range spans {
+		if s.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotAlloc(pass *Pass, fd *ast.FuncDecl) {
+	cold := coldSpans(fd)
+	loops := loopSpans(fd)
+	hot := func(p token.Pos) bool { return !inSpans(cold, p) }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op != token.AND || !hot(n.Pos()) {
+				return true
+			}
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(),
+					"&composite literal escapes to the heap on the hot path; reuse a pooled or receiver-owned value instead")
+			}
+		case *ast.CompositeLit:
+			if !hot(n.Pos()) {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(),
+					"slice literal allocates on the hot path; hoist it to a package-level var or a receiver-owned scratch buffer")
+			case *types.Map:
+				pass.Reportf(n.Pos(),
+					"map literal allocates on the hot path; hoist it or reuse a receiver-owned map")
+			}
+		case *ast.FuncLit:
+			if !hot(n.Pos()) {
+				return true
+			}
+			if name, ok := capturesVariable(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"closure capturing %s allocates on the hot path; hoist the capture into a receiver field or pass it as a parameter", name)
+			}
+		case *ast.RangeStmt:
+			if !hot(n.Pos()) {
+				return true
+			}
+			if tv, ok := pass.Pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.For,
+						"map iteration on the hot path is cache-hostile and randomized; maintain a slice (or sorted key list) alongside the map")
+				}
+			}
+		case *ast.CallExpr:
+			if !hot(n.Pos()) {
+				return true
+			}
+			checkHotCall(pass, n, loops)
+		}
+		return true
+	})
+}
+
+// checkHotCall applies the call-shaped hotalloc rules: builtins, fmt, and
+// interface-variadic boxing.
+func checkHotCall(pass *Pass, call *ast.CallExpr, loops []span) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(),
+					"make allocates on the hot path; preallocate at construction or reuse a receiver-owned buffer")
+			case "new":
+				pass.Reportf(call.Pos(),
+					"new allocates on the hot path; reuse a pooled or receiver-owned value")
+			case "append":
+				if inSpans(loops, call.Pos()) {
+					pass.Reportf(call.Pos(),
+						"append inside a loop may grow without bound on the hot path; preallocate with capacity or reuse a scratch buffer")
+				}
+			}
+			return
+		}
+	}
+	if pkgPath, name, ok := pkgFuncCall(pass, call); ok && pkgPath == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s allocates and boxes its arguments on the hot path; precompute the string or move formatting off the tick loop", name)
+		return
+	}
+	// Interface-typed variadic parameters: the call builds an implicit
+	// slice and boxes each element. An explicit s... spread reuses the
+	// caller's slice and passes.
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis != token.NoPos {
+		return
+	}
+	nFixed := sig.Params().Len() - 1
+	if len(call.Args) <= nFixed {
+		return
+	}
+	last := sig.Params().At(nFixed)
+	slice, ok := last.Type().Underlying().(*types.Slice)
+	if !ok || !types.IsInterface(slice.Elem()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"variadic interface arguments allocate a slice and box each element on the hot path; pass a prebuilt slice with ... or restructure the call")
+}
+
+// capturesVariable reports whether the function literal captures a local
+// variable from an enclosing function scope (package-level state is not a
+// capture — referencing it does not force a closure allocation), returning
+// the first captured name.
+func capturesVariable(pass *Pass, fl *ast.FuncLit) (string, bool) {
+	name := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+			return true // declared inside the literal
+		}
+		// Package-level variables live forever; no capture needed.
+		if v.Parent() == types.Universe || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+			return true
+		}
+		name = v.Name()
+		return false
+	})
+	return name, name != ""
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// HotPathFile is the on-disk schema of hotpath.json: the checked-in
+// declaration of the engine's hot roots and traversal stops. Keys use the
+// canonical FuncKey form; every entry carries a reason so the file reads
+// as an auditable contract, not a magic list.
+type HotPathFile struct {
+	// Comment is a free-form header field so the JSON can explain itself.
+	Comment string         `json:"comment,omitempty"`
+	Roots   []HotPathEntry `json:"roots"`
+	Stops   []HotPathEntry `json:"stops,omitempty"`
+}
+
+// HotPathEntry is one declared root or stop.
+type HotPathEntry struct {
+	Key    string `json:"key"`
+	Reason string `json:"reason"`
+}
+
+// LoadHotPathConfig reads hotpath.json from path and converts it into a
+// run Config. Entries without a key or a reason are rejected: an
+// unexplained root or stop defeats the point of checking the file in.
+func LoadHotPathConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var file HotPathFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+	}
+	if len(file.Roots) == 0 {
+		return nil, fmt.Errorf("analysis: %s declares no roots", path)
+	}
+	cfg := &Config{}
+	for _, e := range file.Roots {
+		if e.Key == "" || e.Reason == "" {
+			return nil, fmt.Errorf("analysis: %s: every root needs a key and a reason (got key=%q reason=%q)", path, e.Key, e.Reason)
+		}
+		cfg.HotRoots = append(cfg.HotRoots, e.Key)
+	}
+	for _, e := range file.Stops {
+		if e.Key == "" || e.Reason == "" {
+			return nil, fmt.Errorf("analysis: %s: every stop needs a key and a reason (got key=%q reason=%q)", path, e.Key, e.Reason)
+		}
+		cfg.HotStops = append(cfg.HotStops, e.Key)
+	}
+	return cfg, nil
+}

@@ -3,13 +3,16 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -172,7 +175,16 @@ func walkPackageDirs(root string) ([]string, error) {
 	return dirs, err
 }
 
-// goSourceNames lists the non-test .go files in dir, sorted.
+// goSourceNames lists the .go files in dir that belong to the package on
+// this platform, sorted. Excluded, mirroring the go tool's rules:
+//
+//   - _test.go files — the suite's remit is shipped code; tests exercise
+//     themselves;
+//   - files whose name starts with "_" or "." — ignored by the toolchain;
+//   - files fenced off by a _GOOS/_GOARCH filename suffix or a //go:build
+//     (or legacy // +build) constraint that the current platform does not
+//     satisfy. Without this, a windows-only file would break type-checking
+//     of the whole package on linux.
 func goSourceNames(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -184,11 +196,132 @@ func goSourceNames(dir string) ([]string, error) {
 			continue
 		}
 		n := e.Name()
-		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+		if !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, "_") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if !filenameMatchesPlatform(n) {
+			continue
+		}
+		ok, err := buildConstraintSatisfied(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			names = append(names, n)
 		}
 	}
 	return names, nil
+}
+
+// knownOS and knownArch are the GOOS/GOARCH values recognized in filename
+// suffixes and build tags. A conservative subset of the toolchain's list:
+// anything unlisted simply is not treated as a platform suffix.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixOS mirrors the toolchain's "unix" build tag.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// filenameMatchesPlatform applies the go tool's implicit filename
+// constraints: name_GOOS.go, name_GOARCH.go, and name_GOOS_GOARCH.go only
+// build on the matching platform.
+func filenameMatchesPlatform(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// buildConstraintSatisfied reads the file's header and evaluates its
+// //go:build (preferred) or legacy // +build constraint against the
+// current platform. Files without a constraint always build.
+func buildConstraintSatisfied(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	expr := headerConstraint(string(data))
+	if expr == nil {
+		return true, nil
+	}
+	return expr.Eval(buildTagSatisfied), nil
+}
+
+// headerConstraint extracts the first build-constraint expression from the
+// comment block preceding the package clause, or nil.
+func headerConstraint(src string) constraint.Expr {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if constraint.IsGoBuild(line) || constraint.IsPlusBuild(line) {
+				if expr, err := constraint.Parse(line); err == nil {
+					return expr
+				}
+			}
+			continue
+		}
+		break // package clause (or any code): constraints must precede it
+	}
+	return nil
+}
+
+// buildTagSatisfied reports whether one build tag holds on this platform:
+// the current GOOS/GOARCH, the gc compiler, cgo off (the loader never
+// configures cgo), "unix" per the toolchain's definition, and every go1.N
+// release tag at or below the toolchain's version.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "cgo":
+		return false
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return false
+		}
+		cur, err := strconv.Atoi(strings.TrimPrefix(strings.Split(runtime.Version(), ".")[1], "go"))
+		if err == nil {
+			return n <= cur
+		}
+		// Non-release toolchains (devel builds): assume recent.
+		return true
+	}
+	return false
 }
 
 // importPathFor maps an absolute or module-relative directory to its

@@ -1,0 +1,98 @@
+// Package hotalloc_bad is a known-bad fixture: allocation sources inside
+// //quasar:hot-marked functions the hotalloc analyzer must flag. The
+// ColdTwin function repeats every pattern without the marker to prove the
+// analyzer only fires on the hot path.
+package hotalloc_bad
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+type state struct {
+	points []point
+	total  float64
+}
+
+// quasar:hot fixture root
+func EscapingLiteral() *point {
+	return &point{x: 1, y: 2}
+}
+
+// quasar:hot fixture root
+func SliceAndMapLiterals() int {
+	s := []int{1, 2, 3}
+	m := map[string]int{"a": 1}
+	return len(s) + len(m)
+}
+
+// quasar:hot fixture root
+func MakeAndNew() *state {
+	buf := make([]point, 0, 8)
+	st := new(state)
+	st.points = buf
+	return st
+}
+
+// quasar:hot fixture root
+func AppendGrowth(st *state, n int) {
+	for i := 0; i < n; i++ {
+		st.points = append(st.points, point{x: float64(i)})
+	}
+}
+
+// quasar:hot fixture root
+func ClosureCapture(st *state) func() float64 {
+	return func() float64 { return st.total }
+}
+
+// quasar:hot fixture root
+func Formatting(st *state) string {
+	return fmt.Sprintf("%d points", len(st.points))
+}
+
+// sink has an interface-typed variadic parameter; calling it with loose
+// arguments boxes each one into an implicit slice.
+func sink(args ...any) int { return len(args) }
+
+// quasar:hot fixture root
+func VariadicBoxing(st *state) int {
+	return sink(st.total, len(st.points))
+}
+
+// quasar:hot fixture root
+func MapIteration(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v
+	}
+	return total
+}
+
+// Reached is pulled into the hot set through a call edge from a root, so
+// its allocations are flagged too.
+func Reached() []int {
+	return []int{1, 2, 3}
+}
+
+// quasar:hot fixture root
+func CallsReached() int {
+	return len(Reached())
+}
+
+// ColdTwin repeats every flagged pattern with no //quasar:hot marker and
+// no hot caller: nothing here may be reported.
+func ColdTwin(m map[string]float64, n int) string {
+	p := &point{x: 1}
+	s := []int{1, 2, 3}
+	buf := make([]point, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, point{})
+	}
+	f := func() float64 { return p.x }
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	_ = sink(total, f())
+	return fmt.Sprintf("%d %d", len(s), len(buf))
+}

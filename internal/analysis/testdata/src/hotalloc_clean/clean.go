@@ -1,0 +1,69 @@
+// Package hotalloc_clean is a known-clean fixture: hot-marked functions
+// written in the allocation-free style hotalloc demands, plus the
+// sanctioned escape hatches (Enabled-guarded trace branches, //quasar:cold
+// boundaries, //lint:allow annotations).
+package hotalloc_clean
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+type tracer struct{ on bool }
+
+func (t *tracer) Enabled() bool { return t.on }
+
+type engine struct {
+	tr      *tracer
+	scratch []point
+	keys    []string
+	vals    map[string]float64
+}
+
+// quasar:hot fixture root
+func (e *engine) Tick(n int) float64 {
+	// Reusing a receiver-owned scratch buffer: truncate, then index-write.
+	e.scratch = e.scratch[:0]
+	total := 0.0
+	for i := 0; i < n && i < cap(e.scratch); i++ {
+		total += float64(i)
+	}
+	// Iterating a maintained key slice instead of the map.
+	for _, k := range e.keys {
+		total += e.vals[k]
+	}
+	if e.tr.Enabled() {
+		// Trace-only branch: allocations here are off the fast path.
+		msg := fmt.Sprintf("tick total=%v", total)
+		_ = []byte(msg)
+	}
+	return total
+}
+
+// quasar:hot fixture root
+func IndexWrites(out []point, n int) {
+	for i := 0; i < n && i < len(out); i++ {
+		out[i].x = float64(i)
+	}
+}
+
+// quasar:hot fixture root
+func Allowed() *point {
+	return &point{x: 1} //lint:allow(hotalloc) fixture: one-time setup escape
+}
+
+// quasar:cold fixture: reporting path, runs once per experiment
+func Report(e *engine) string {
+	return fmt.Sprintf("%d keys", len(e.keys))
+}
+
+// quasar:hot fixture root
+func CallsCold(e *engine) int {
+	// Report is a //quasar:cold boundary: its allocations stay unflagged
+	// even though a hot root calls it.
+	return len(Report(e))
+}
+
+// ColdHelper is never hot-reachable; it may allocate freely.
+func ColdHelper(n int) []point {
+	return make([]point, n)
+}

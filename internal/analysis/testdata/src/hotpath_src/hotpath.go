@@ -1,0 +1,67 @@
+// Package hotpath_src is the call-graph reachability fixture: a known
+// topology of direct calls, interface dispatch, function references,
+// closures, directives, and unreachable functions, exercised by
+// callgraph_test.go with explicit root and stop keys.
+package hotpath_src
+
+// Worker is dispatched through an interface from the root: both
+// implementations must land in the hot set.
+type Worker interface {
+	Do(x int) int
+}
+
+type alpha struct{}
+
+func (alpha) Do(x int) int { return x + 1 }
+
+type beta struct{ scale int }
+
+func (b *beta) Do(x int) int { return deepHelper(x) * b.scale }
+
+// deepHelper is hot only through beta.Do.
+func deepHelper(x int) int { return x * 2 }
+
+// Root is the entry point the test declares in its root keys.
+func Root(w Worker, xs []int) int {
+	total := directA(len(xs))
+	total += w.Do(total)
+	f := refTarget // reference edge: refTarget runs wherever f is invoked
+	total += f(total)
+	cl := func(v int) int { return closureHelper(v) } // closure body is Root's
+	total += cl(total)
+	total += coldBoundary(total)
+	total += stopped(total)
+	return total
+}
+
+// directA and directB form a plain call chain from the root.
+func directA(x int) int { return directB(x) + 1 }
+
+func directB(x int) int { return x * x }
+
+// refTarget is reached as a function value, not a call.
+func refTarget(x int) int { return x - 1 }
+
+// closureHelper is reached through a closure built inside Root.
+func closureHelper(x int) int { return x / 2 }
+
+// quasar:cold fixture: reporting path, runs outside the tick loop
+func coldBoundary(x int) int { return coldOnly(x) }
+
+// coldOnly is reachable only through the cold boundary: never hot.
+func coldOnly(x int) int { return x + 100 }
+
+// stopped is declared as a stop key by the test: fenced, never hot.
+func stopped(x int) int { return stoppedChild(x) }
+
+// stoppedChild is reachable only through the stop: never hot.
+func stoppedChild(x int) int { return x + 200 }
+
+// quasar:hot fixture: marked root with no visible callers
+func MarkedHot(x int) int { return markedChild(x) }
+
+// markedChild is hot through the //quasar:hot marker on MarkedHot.
+func markedChild(x int) int { return x - 200 }
+
+// Unreached has no callers and no marker: never hot.
+func Unreached(x int) int { return x * 7 }

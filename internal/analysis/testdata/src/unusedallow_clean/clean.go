@@ -1,0 +1,15 @@
+// Package unusedallow_clean is a known-clean fixture: every //lint:allow
+// directive suppresses a real finding, so the stale-suppression check
+// stays silent.
+package unusedallow_clean
+
+// ExactTrailing suppresses with a trailing comment on the finding's line.
+func ExactTrailing(a, b float64) bool {
+	return a == b //lint:allow(floatcmp) fixture: bit-exact comparison intended
+}
+
+// ExactPreceding suppresses with a comment on the line above the finding.
+func ExactPreceding(a, b float64) bool {
+	//lint:allow(floatcmp) fixture: bit-exact comparison intended
+	return a != b
+}

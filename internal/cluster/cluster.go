@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Alloc is the per-server share of an allocation: a number of cores and an
@@ -77,9 +76,13 @@ type Server struct {
 	usedCores  int
 	usedMemGB  float64
 	placements map[string]*Placement
-	pressure   ResVec // sum of residents' Caused vectors
-	probe      ResVec // injected microbenchmark pressure (iBench-style)
-	isolation  ResVec // fraction of cross-workload pressure removed per resource
+	// order mirrors placements sorted by workload ID, maintained on
+	// Place/Remove, so the per-decision sweeps over residents iterate
+	// deterministically without sorting or allocating.
+	order     []*Placement
+	pressure  ResVec // sum of residents' Caused vectors
+	probe     ResVec // injected microbenchmark pressure (iBench-style)
+	isolation ResVec // fraction of cross-workload pressure removed per resource
 
 	// Fault state. down and partitioned are physical ground truth (set by
 	// fault injection through the runtime); degrade is extra interference
@@ -198,6 +201,10 @@ func (s *Server) Place(workloadID string, alloc Alloc, caused ResVec, bestEffort
 	}
 	pl := &Placement{WorkloadID: workloadID, Server: s, Alloc: alloc, Caused: caused, BestEffort: bestEffort}
 	s.placements[workloadID] = pl
+	s.order = append(s.order, pl)
+	for i := len(s.order) - 1; i > 0 && s.order[i].WorkloadID < s.order[i-1].WorkloadID; i-- {
+		s.order[i], s.order[i-1] = s.order[i-1], s.order[i]
+	}
 	s.usedCores += alloc.Cores
 	s.usedMemGB += alloc.MemoryGB
 	s.pressure = s.pressure.Add(caused)
@@ -209,9 +216,17 @@ func (s *Server) Place(workloadID string, alloc Alloc, caused ResVec, bestEffort
 func (s *Server) Remove(workloadID string) error {
 	pl, ok := s.placements[workloadID]
 	if !ok {
+		//lint:allow(hotalloc) error path: removal of a workload that is not resident
 		return fmt.Errorf("cluster: %s not placed on server %d", workloadID, s.ID)
 	}
 	delete(s.placements, workloadID)
+	for i, p := range s.order {
+		if p == pl {
+			//lint:allow(hotalloc) in-place shift: the append reslices the existing backing array and never grows it
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
 	s.usedCores -= pl.Alloc.Cores
 	s.usedMemGB -= pl.Alloc.MemoryGB
 	s.pressure = s.pressure.Sub(pl.Caused)
@@ -245,15 +260,10 @@ func (s *Server) Resize(workloadID string, alloc Alloc, caused ResVec) error {
 func (s *Server) Placement(workloadID string) *Placement { return s.placements[workloadID] }
 
 // Placements returns the resident placements in workload-ID order
-// (deterministic iteration).
-func (s *Server) Placements() []*Placement {
-	out := make([]*Placement, 0, len(s.placements))
-	for _, pl := range s.placements {
-		out = append(out, pl)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].WorkloadID < out[j].WorkloadID })
-	return out
-}
+// (deterministic iteration). The slice is the server's live ordering —
+// callers sweep it every decision and must not mutate it; it is valid
+// until the next Place or Remove on this server.
+func (s *Server) Placements() []*Placement { return s.order }
 
 // NumPlacements returns the number of resident workloads.
 func (s *Server) NumPlacements() int { return len(s.placements) }

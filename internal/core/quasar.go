@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"quasar/internal/classify"
 	"quasar/internal/cluster"
@@ -55,10 +56,19 @@ type taskState struct {
 	workEst     float64 // estimated total work (batch), from profiling
 	deadline    float64 // absolute completion deadline (batch)
 	below       int     // consecutive monitoring intervals under target
+	stalled     int     // consecutive below-band adjustments with no growth landed
 	phaseSig    int     // phase-change signals observed
 	lastAdjust  float64 // time of the last allocation adjustment
 	lastResched float64 // time of the last full reschedule
 	lastReclass float64 // time of the last reclassification
+	lastProbe   float64 // time of the last proactive interference probe
+
+	// Offered-load trend (latency-critical workloads): the last observation
+	// and its time, kept by the monitor so needPerf can provision for the
+	// load expected one adjustment cooldown ahead instead of chasing a
+	// rising curve from behind.
+	lastOffered float64
+	offeredAt   float64
 
 	// Displacement episode (failure recovery): set when a server death took
 	// at least one of the workload's nodes, cleared when capacity is
@@ -245,6 +255,15 @@ func (q *Quasar) needPerf(t *Task, st *taskState) float64 {
 		return remWork / remTime
 	case perfmodel.LatencyCritical:
 		offered := q.rt.OfferedLoad(t)
+		// Provision for where a rising load will be one adjustment cooldown
+		// from now, not where it is: capacity added this interval is the
+		// capacity serving the next one. Falling load is not projected —
+		// reclaim goes through the conservative shrink path.
+		if st.offeredAt > 0 && now > st.offeredAt {
+			if slope := (offered - st.lastOffered) / (now - st.offeredAt); slope > 0 {
+				offered += slope * adjustCooldownSecs
+			}
+		}
 		floor := 0.15 * t.W.Target.QPS
 		need := offered * 1.2
 		if need < floor {
@@ -434,6 +453,12 @@ func (q *Quasar) monitor(t *Task, st *taskState) {
 		return
 	}
 	now := q.rt.Eng.Now()
+	if t.W.Type.Class() == perfmodel.LatencyCritical {
+		// Record the load observation after needPerf consumed the previous
+		// one, so the trend always spans exactly one monitoring interval.
+		st.lastOffered = q.rt.OfferedLoad(t)
+		st.offeredAt = now
+	}
 	measured := q.rt.MeasuredPerf(t)
 	// A displacement episode ends when measured performance is back at the
 	// needed level (covers partial displacements healed by scale-out or by
@@ -451,7 +476,11 @@ func (q *Quasar) monitor(t *Task, st *taskState) {
 			return
 		}
 		st.lastAdjust = now
-		q.scaleUpOrOut(t, st, need, measured)
+		if q.scaleUpOrOut(t, st, need, measured) {
+			st.stalled = 0
+		} else {
+			st.stalled++
+		}
 		if st.below >= 3 && now-st.lastReclass > 120 && !st.displaced {
 			// Persistent shortfall: misclassification or phase change —
 			// reclassify from scratch (§4.1). During a displacement episode
@@ -461,14 +490,21 @@ func (q *Quasar) monitor(t *Task, st *taskState) {
 			st.lastReclass = now
 			q.reclassify(t, st, "reactive")
 		}
-		if st.below >= 6 && measured < 0.6*need && now-st.lastResched > 300 {
+		if st.below >= 6 && st.stalled >= 3 && now-st.lastResched > 300 {
 			// Adjustment is exhausted (e.g. stuck on inferior servers at
 			// the node cap): reschedule from scratch with the refreshed
 			// estimates ("or reclassifies and reschedules the workload
-			// from scratch", §3.1).
+			// from scratch", §3.1). "Exhausted" is judged by what landed,
+			// not by how large the shortfall is: while scale-up/out is
+			// still adding resources the shortfall is lag, and tearing
+			// down a service mid-rise trades real capacity for nothing.
+			// Only after several adjustment rounds place nothing is a
+			// fresh placement attempted — and reschedule itself keeps the
+			// incumbent unless the new placement beats it.
 			st.lastResched = now
 			st.below = 0
-			q.reschedule(t, st)
+			st.stalled = 0
+			q.reschedule(t, st, measured)
 		}
 	case measured > 1.8*need:
 		st.below = 0
@@ -500,8 +536,11 @@ func (q *Quasar) allocCostPerHour(t *Task) float64 {
 }
 
 // scaleUpOrOut grows the allocation: scale-up on current servers first
-// (cheapest, no migration), then scale-out via the scheduler.
-func (q *Quasar) scaleUpOrOut(t *Task, st *taskState, need, measured float64) {
+// (cheapest, no migration), then scale-out via the scheduler. It reports
+// whether any resize or placement actually landed, so the monitor can tell
+// "adjustment is still making progress" apart from "adjustment is exhausted"
+// — only the latter justifies a disruptive reschedule from scratch.
+func (q *Quasar) scaleUpOrOut(t *Task, st *taskState, need, measured float64) (progressed bool) {
 	var actions []string
 	if q.tracer.Enabled() {
 		defer func() {
@@ -557,6 +596,7 @@ func (q *Quasar) scaleUpOrOut(t *Task, st *taskState, need, measured float64) {
 			grown := st.est.NodePerf(pidx, grow, press)
 			if grown > 1.05*cur {
 				if q.rt.Resize(t, srv, grow) == nil {
+					progressed = true
 					q.retuneConfig(t, st, grow)
 					if q.tracer.Enabled() {
 						actions = append(actions, fmt.Sprintf("scale-up server %d -> %dc/%gg",
@@ -604,11 +644,15 @@ func (q *Quasar) scaleUpOrOut(t *Task, st *taskState, need, measured float64) {
 		if have[n.Server.ID] {
 			continue // already on this server; Place would fail
 		}
-		if q.rt.Place(t, n.Server, n.Alloc) == nil && q.tracer.Enabled() {
-			actions = append(actions, fmt.Sprintf("scale-out +server %d %dc/%gg",
-				n.Server.ID, n.Alloc.Cores, n.Alloc.MemoryGB))
+		if q.rt.Place(t, n.Server, n.Alloc) == nil {
+			progressed = true
+			if q.tracer.Enabled() {
+				actions = append(actions, fmt.Sprintf("scale-out +server %d %dc/%gg",
+					n.Server.ID, n.Alloc.Cores, n.Alloc.MemoryGB))
+			}
 		}
 	}
+	return progressed
 }
 
 // retuneConfig re-tunes framework parameters after an in-place resize so
@@ -637,14 +681,47 @@ func (q *Quasar) nodeChoices(t *Task) []classify.NodeChoice {
 	return out
 }
 
-// reschedule releases the workload's current assignment and places it anew
-// with current estimates. Analytics frameworks keep their progress
-// (completed tasks live in the DFS); stateful services migrate microshards,
-// which costs milliseconds per shard and is absorbed within a tick.
-func (q *Quasar) reschedule(t *Task, st *taskState) {
+// reschedule places the workload anew with current estimates, keeping the
+// result only if it beats the incumbent. Analytics frameworks keep their
+// progress (completed tasks live in the DFS); stateful services migrate
+// microshards, which costs milliseconds per shard and is absorbed within a
+// tick.
+//
+// The comparison is make-before-break in effect: a reschedule fires when the
+// workload is stuck, but on a saturated cluster the scheduler may well find
+// *less* than the incumbent already holds — rescheduling exists to escape bad
+// placements (inferior platforms, noisy neighbors), not to shrink. So the
+// candidate placement is applied, *measured*, and kept only if it beats the
+// incumbent's last measurement; otherwise the exact prior allocation is
+// restored (its capacity was freed under the same event, so nothing can have
+// claimed it in between). Measuring rather than trusting st.est matters: the
+// decision to reschedule was made precisely because measurements diverged
+// from what the estimates promised.
+func (q *Quasar) reschedule(t *Task, st *taskState, measured float64) {
 	q.tracer.Instant("manager", "quasar", "reschedule", obs.Arg{Key: "workload", Val: t.W.ID})
+	type heldAlloc struct {
+		srv   *cluster.Server
+		alloc cluster.Alloc
+	}
+	ids := t.Servers()
+	old := make([]heldAlloc, 0, len(ids))
+	for _, id := range ids {
+		pl := t.placements[id]
+		old = append(old, heldAlloc{pl.Server, pl.Alloc})
+	}
 	q.rt.Release(t)
-	if !q.tryPlace(t, st) {
+	if q.tryPlace(t, st) && q.rt.MeasuredPerf(t) >= measured {
+		return
+	}
+	// Worse or no placement: put the incumbent back.
+	q.rt.Release(t)
+	restored := false
+	for _, h := range old {
+		if q.rt.Place(t, h.srv, h.alloc) == nil {
+			restored = true
+		}
+	}
+	if !restored {
 		t.Status = StatusQueued
 		q.queue = append(q.queue, t)
 	}
@@ -669,9 +746,17 @@ func (q *Quasar) reclaim(t *Task, st *taskState, need, measured float64) {
 		return
 	}
 	// Drop a whole node when several are allocated; otherwise halve the
-	// largest allocation.
+	// largest allocation. Either way, simulate the shrink against the
+	// estimates first and skip it when the remainder would fall straight
+	// back into scale-up territory: reclaim steps are coarse (a whole node,
+	// half an allocation), and over-shrinking at a load trough costs a
+	// latency excursion plus a scale-up round trip on the next rise.
 	ids := t.Servers()
 	if len(ids) > 1 {
+		choices := q.nodeChoices(t)
+		if st.est.JobPerf(choices[:len(choices)-1]) < 1.2*need {
+			return
+		}
 		last := ids[len(ids)-1]
 		if q.rt.RemoveNode(t, last) == nil && q.tracer.Enabled() {
 			actions = append(actions, fmt.Sprintf("drop server %d", last))
@@ -683,6 +768,10 @@ func (q *Quasar) reclaim(t *Task, st *taskState, need, measured float64) {
 		shrunk := cluster.Alloc{
 			Cores:    maxInt(1, pl.Alloc.Cores/2),
 			MemoryGB: math.Max(1, pl.Alloc.MemoryGB/2),
+		}
+		pidx := q.rt.Cl.PlatformIndex(pl.Server.Platform.Name)
+		if st.est.NodePerf(pidx, shrunk, pl.Server.PressureOn(t.W.ID)) < 1.2*need {
+			return
 		}
 		if q.rt.Resize(t, pl.Server, shrunk) == nil && q.tracer.Enabled() {
 			actions = append(actions, fmt.Sprintf("shrink server %d -> %dc/%gg",
@@ -706,6 +795,15 @@ func (q *Quasar) reclassify(t *Task, st *taskState, source string) {
 	}
 	prober := classify.NewGroundTruthProber(t.W, q.rt.Cl.Platforms, q.rng.Stream("reprobe/"+t.W.ID))
 	st.est = q.engine.Reclassify(t.W, prober)
+	// Fresh profiles arrive in profiling units, which for latency-critical
+	// workloads differ systematically from the monitor's knee-QPS
+	// measurements. Re-anchor the new estimates to the live measurement
+	// immediately: otherwise every reactive reclassification wipes the
+	// feedback calibration (§3.2) and the scheduler reverts to undersized
+	// placements exactly when the workload is struggling.
+	if t.Status == StatusRunning && t.NumNodes() > 0 {
+		st.est.CorrectWith(q.rt.MeasuredPerf(t), q.nodeChoices(t))
+	}
 }
 
 // proactiveProbe samples a fraction of active workloads and injects
@@ -722,21 +820,44 @@ func (q *Quasar) proactiveProbe(now float64) {
 		return
 	}
 	n := int(math.Ceil(q.opts.ProactiveFraction * float64(len(running))))
+	// Probe the least-recently-probed workloads first: uniform random
+	// sampling can starve a workload indefinitely, while round-robin
+	// coverage bounds every workload's probe interval by
+	// len(running)/n probe periods at the same per-period cost.
+	// Tasks() order breaks ties, so selection is deterministic.
+	sort.SliceStable(running, func(i, j int) bool {
+		si, sj := q.state[running[i].W.ID], q.state[running[j].W.ID]
+		ti, tj := 0.0, 0.0
+		if si != nil {
+			ti = si.lastProbe
+		}
+		if sj != nil {
+			tj = sj.lastProbe
+		}
+		return ti < tj
+	})
 	rng := q.rng.Stream("proactive")
-	for _, idx := range rng.Perm(len(running))[:n] {
-		t := running[idx]
+	for _, t := range running[:n] {
 		st := q.state[t.W.ID]
 		if st == nil {
 			continue
 		}
-		// Partial in-place interference classification: re-probe two
-		// random resources and compare with the standing estimates.
+		st.lastProbe = now
+		// Partial in-place interference classification: re-probe three
+		// random resources and compare with the standing estimates. Two of
+		// three must deviate to call a phase change — a single drifted
+		// resource is within measurement noise, but genuine phase changes
+		// shift the whole interference profile, so the wider probe raises
+		// sensitivity without loosening the per-resource threshold. The
+		// relative-change denominator is floored well above the tolerance
+		// ramp's quantization step: for near-zero tolerances a single probe
+		// step is a huge relative swing, which is noise, not a phase.
 		prober := classify.NewGroundTruthProber(t.W, q.rt.Cl.Platforms, q.rng.Stream("pp/"+t.W.ID))
 		changed := 0
-		for _, r := range rng.Perm(int(cluster.NumResources))[:2] {
+		for _, r := range rng.Perm(int(cluster.NumResources))[:3] {
 			fresh := prober.ToleratedIntensity(cluster.Resource(r))
 			old := st.est.Tol[r]
-			if old > 0 && math.Abs(fresh-old)/math.Max(old, 0.05) > 0.35 {
+			if old > 0 && math.Abs(fresh-old)/math.Max(old, 0.2) > 0.35 {
 				changed++
 			}
 		}

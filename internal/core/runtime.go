@@ -80,16 +80,38 @@ type Task struct {
 	PeakCores int
 
 	placements map[int]*cluster.Placement // by server ID
-	qosState   int8                       // 0 unknown, 1 meeting QoS, -1 missing (trace edge detection)
+	// serverIDs mirrors the placement keys in ascending order, maintained
+	// on Place/RemoveNode, so per-tick sweeps iterate deterministically
+	// without sorting or map iteration.
+	serverIDs []int
+	qosState  int8 // 0 unknown, 1 meeting QoS, -1 missing (trace edge detection)
 }
 
 // Servers returns the IDs of servers currently hosting the task, ascending.
+// The result is the caller's to keep; hot paths inside the runtime iterate
+// the maintained serverIDs slice directly.
 func (t *Task) Servers() []int {
-	ids := make([]int, 0, len(t.placements))
-	for id := range t.placements {
-		ids = append(ids, id)
+	return append([]int(nil), t.serverIDs...)
+}
+
+// insertID inserts id into ascending ids (no-op duplicates never occur:
+// Place rejects double-placement at the cluster layer).
+func insertID(ids []int, id int) []int {
+	ids = append(ids, id)
+	for i := len(ids) - 1; i > 0 && ids[i] < ids[i-1]; i-- {
+		ids[i], ids[i-1] = ids[i-1], ids[i]
 	}
-	sortInts(ids)
+	return ids
+}
+
+// removeID deletes id from ascending ids, preserving order.
+func removeID(ids []int, id int) []int {
+	for i, v := range ids {
+		if v == id {
+			//lint:allow(hotalloc) in-place shift: the append reslices the existing backing array and never grows it
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
 	return ids
 }
 
@@ -142,6 +164,11 @@ type Runtime struct {
 	Cl  *cluster.Cluster
 	RNG *sim.RNG
 
+	// measureRNG is the measurement-noise stream, derived once at
+	// construction: deriving a stream draws from the root RNG and builds a
+	// new generator, which is too expensive (and pointless) per observation.
+	measureRNG *sim.RNG
+
 	// Trace, when non-nil, receives task-lifecycle events: submissions,
 	// per-server placement spans, resizes, evictions, completions, and QoS
 	// transitions. All emission happens on the sim goroutine.
@@ -152,6 +179,9 @@ type Runtime struct {
 
 	tasks map[string]*Task
 	order []string
+	// ordered mirrors order as resolved *Task pointers so the per-tick
+	// sweeps and Tasks() iterate without rebuilding a slice.
+	ordered []*Task
 
 	// CPUHeat, MemHeat, DiskHeat sample per-server utilization over time
 	// (Figs. 7, 10, 11). AllocSeries and UsedSeries track aggregate
@@ -174,6 +204,10 @@ type Runtime struct {
 	// post-decision state of every tick.
 	tickListeners []func(now float64)
 
+	// cpuBuf, memBuf, dskBuf are sampling scratch reused across sweeps;
+	// Heatmap.Sample copies its input, so reuse is safe.
+	cpuBuf, memBuf, dskBuf []float64
+
 	stopTick, stopSample, stopHB func()
 }
 
@@ -195,6 +229,7 @@ func NewRuntime(cl *cluster.Cluster, opts Options) *Runtime {
 		MemHeat:  metrics.NewHeatmap(len(cl.Servers)),
 		DiskHeat: metrics.NewHeatmap(len(cl.Servers)),
 	}
+	rt.measureRNG = rt.RNG.Stream("measure")
 	return rt
 }
 
@@ -226,10 +261,13 @@ func (rt *Runtime) SetTracer(tr *obs.Tracer) {
 // spanID names the placement span of a workload on a server; placements on
 // one server track overlap across workloads, so they are async spans keyed by
 // this ID.
+//
+//quasar:cold tracing-only: every call site sits inside a Trace.Enabled() guard
 func spanID(workloadID string, serverID int) string {
 	return fmt.Sprintf("%s@%d", workloadID, serverID)
 }
 
+//quasar:cold tracing-only: every call site sits inside a Trace.Enabled() guard
 func serverTrack(serverID int) string { return fmt.Sprintf("server/%d", serverID) }
 
 func workloadTrack(workloadID string) string { return "workload/" + workloadID }
@@ -271,6 +309,7 @@ func (rt *Runtime) Submit(w *workload.Instance, at float64, load loadgen.Pattern
 	}
 	rt.tasks[w.ID] = t
 	rt.order = append(rt.order, w.ID)
+	rt.ordered = append(rt.ordered, t)
 	rt.Eng.Schedule(at, func() {
 		if rt.Trace.Enabled() {
 			rt.Trace.Instant(workloadTrack(w.ID), "lifecycle", "submit",
@@ -285,14 +324,10 @@ func (rt *Runtime) Submit(w *workload.Instance, at float64, load loadgen.Pattern
 // Task returns the task for a workload ID.
 func (rt *Runtime) Task(id string) *Task { return rt.tasks[id] }
 
-// Tasks returns all tasks in submission order.
-func (rt *Runtime) Tasks() []*Task {
-	out := make([]*Task, 0, len(rt.order))
-	for _, id := range rt.order {
-		out = append(out, rt.tasks[id])
-	}
-	return out
-}
+// Tasks returns all tasks in submission order. The slice is the runtime's
+// live ordering — callers iterate it every tick and must not mutate it; it
+// is valid until the next Submit.
+func (rt *Runtime) Tasks() []*Task { return rt.ordered }
 
 // Place establishes the task's placements. Any existing placements are kept
 // (use it to add nodes); it fails atomically per node.
@@ -303,6 +338,7 @@ func (rt *Runtime) Place(t *Task, server *cluster.Server, alloc cluster.Alloc) e
 		return err
 	}
 	t.placements[server.ID] = pl
+	t.serverIDs = insertID(t.serverIDs, server.ID)
 	t.UsedPlatforms[server.Platform.Name] = true
 	if tc := t.TotalCores(); tc > t.PeakCores {
 		t.PeakCores = tc
@@ -340,23 +376,30 @@ func (rt *Runtime) Resize(t *Task, server *cluster.Server, alloc cluster.Alloc) 
 func (rt *Runtime) RemoveNode(t *Task, serverID int) error {
 	pl, ok := t.placements[serverID]
 	if !ok {
+		//lint:allow(hotalloc) error path: scale-in of a server the task is not on
 		return fmt.Errorf("core: %s not on server %d", t.W.ID, serverID)
 	}
 	if err := pl.Server.Remove(t.W.ID); err != nil {
 		return err
 	}
 	delete(t.placements, serverID)
+	t.serverIDs = removeID(t.serverIDs, serverID)
 	if rt.Trace.Enabled() {
 		rt.Trace.EndAsync(spanID(t.W.ID, serverID), serverTrack(serverID), "placement", t.W.ID)
 	}
 	return nil
 }
 
-// Release frees all of the task's resources (in deterministic order, so
-// floating-point pressure bookkeeping is reproducible).
+// Release frees all of the task's resources in ascending server order, so
+// floating-point pressure bookkeeping is reproducible. It iterates the live
+// serverIDs slice, advancing only past servers whose removal failed.
 func (rt *Runtime) Release(t *Task) {
-	for _, id := range t.Servers() {
-		_ = rt.RemoveNode(t, id)
+	for i := 0; i < len(t.serverIDs); {
+		n := len(t.serverIDs)
+		_ = rt.RemoveNode(t, t.serverIDs[i])
+		if len(t.serverIDs) == n {
+			i++ // removal failed; leave the placement and move on
+		}
 	}
 }
 
@@ -381,16 +424,19 @@ func (rt *Runtime) Evict(id string) error {
 }
 
 // nodesOf assembles the perfmodel view of the task's current allocation.
+// It allocates per call by design: the SLO engine's fan-out workers call
+// TrueRate concurrently, so a runtime-owned scratch buffer would race.
 func (rt *Runtime) nodesOf(t *Task) []perfmodel.NodeAlloc {
-	ids := t.Servers()
-	nodes := make([]perfmodel.NodeAlloc, 0, len(ids))
-	for _, id := range ids {
+	//lint:allow(hotalloc) per-call by design: concurrent SLO fan-out callers rule out shared scratch
+	nodes := make([]perfmodel.NodeAlloc, 0, len(t.serverIDs))
+	for _, id := range t.serverIDs {
 		pl := t.placements[id]
 		if !pl.Server.Up() {
 			// Crashed but not yet detected: the placement is still on the
 			// books, but the machine does no work.
 			continue
 		}
+		//lint:allow(hotalloc) append within capacity preallocated to the allocation width
 		nodes = append(nodes, perfmodel.NodeAlloc{
 			Platform: pl.Server.Platform,
 			Alloc:    pl.Alloc,
@@ -426,7 +472,7 @@ func (rt *Runtime) MeasuredPerf(t *Task) float64 {
 	} else {
 		v = rt.TrueRate(t)
 	}
-	return rt.RNG.Stream("measure").Jitter(v, t.W.Genome.NoiseCV)
+	return rt.measureRNG.Jitter(v, t.W.Genome.NoiseCV)
 }
 
 // ProgressFraction returns the fraction of a batch workload completed.
@@ -453,8 +499,7 @@ func (rt *Runtime) OfferedLoad(t *Task) float64 {
 // tick advances every running task by one interval.
 func (rt *Runtime) tick(now float64) {
 	dt := rt.opts.TickSecs
-	for _, id := range rt.order {
-		t := rt.tasks[id]
+	for _, t := range rt.ordered {
 		if t.Status != StatusRunning {
 			continue
 		}
@@ -487,7 +532,8 @@ func (rt *Runtime) tickBatch(t *Task, now, dt float64) {
 	rate := rt.TrueRate(t)
 	t.Progress += rate * dt
 	t.RateSeries.Add(now, rate)
-	for _, pl := range t.placements {
+	for _, id := range t.serverIDs {
+		pl := t.placements[id]
 		pl.ActiveCores = t.W.Genome.UsefulCores(pl.Alloc, 1.0)
 		if cfg := t.W.Config; cfg != nil && float64(cfg.MappersPerNode) < pl.ActiveCores {
 			pl.ActiveCores = float64(cfg.MappersPerNode)
@@ -559,7 +605,8 @@ func (rt *Runtime) tickService(t *Task, now float64) {
 	if capQPS > 0 {
 		loadFactor = math.Min(1, lambda/capQPS)
 	}
-	for _, pl := range t.placements {
+	for _, id := range t.serverIDs {
+		pl := t.placements[id]
 		pl.ActiveCores = t.W.Genome.UsefulCores(pl.Alloc, loadFactor)
 		pl.ActiveMemGB = t.W.Genome.UsefulMemGB(pl.Alloc)
 		pl.ActiveDisk = pl.Caused[cluster.ResDiskIO] * loadFactor
@@ -568,9 +615,13 @@ func (rt *Runtime) tickService(t *Task, now float64) {
 
 // sample records per-server utilization.
 func (rt *Runtime) sample(now float64) {
-	cpu := make([]float64, len(rt.Cl.Servers))
-	mem := make([]float64, len(rt.Cl.Servers))
-	dsk := make([]float64, len(rt.Cl.Servers))
+	if n := len(rt.Cl.Servers); cap(rt.cpuBuf) < n {
+		rt.cpuBuf = make([]float64, n) //lint:allow(hotalloc) grow-once scratch: steady-state sweeps reuse it
+		rt.memBuf = make([]float64, n) //lint:allow(hotalloc) grow-once scratch: steady-state sweeps reuse it
+		rt.dskBuf = make([]float64, n) //lint:allow(hotalloc) grow-once scratch: steady-state sweeps reuse it
+	}
+	n := len(rt.Cl.Servers)
+	cpu, mem, dsk := rt.cpuBuf[:n], rt.memBuf[:n], rt.dskBuf[:n]
 	allocCores, usedCores := 0.0, 0.0
 	for i, s := range rt.Cl.Servers {
 		cpu[i] = s.CPUUtilization()

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestAllocBudgets is the dynamic allocation gate: every hot-root probe must
+// stay within its committed budget. A failure here means a change added
+// per-operation heap allocations on a path the static lint gate (quasar-lint)
+// can only prove is annotated, not cheap.
+func TestAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation probes need steady-state warmup")
+	}
+	cfg := DefaultAllocBenchConfig()
+	cfg.Runs = 50 // gate run: smaller sample, same budgets
+	res, err := AllocBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Probes {
+		t.Logf("%-16s %8.1f allocs/op (budget %.0f)", p.Name, p.AllocsPerOp, p.Budget)
+	}
+	if err := res.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllocBaselineFile keeps the committed BENCH_alloc.json consistent with
+// the in-code budgets: same probe set, same ceilings, and a recorded
+// measurement that was itself within budget.
+func TestAllocBaselineFile(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_alloc.json")
+	if err != nil {
+		t.Fatalf("BENCH_alloc.json missing (regenerate with quasar-bench -artifact allocbench): %v", err)
+	}
+	var base AllocBenchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range base.Probes {
+		seen[p.Name] = true
+		if want, ok := allocBudgets[p.Name]; !ok {
+			t.Errorf("baseline probe %s has no in-code budget", p.Name)
+		} else if p.Budget != want {
+			t.Errorf("baseline probe %s budget %g, code says %g — regenerate", p.Name, p.Budget, want)
+		}
+	}
+	for name := range allocBudgets {
+		if !seen[name] {
+			t.Errorf("budgeted probe %s missing from baseline — regenerate", name)
+		}
+	}
+	if err := base.Check(); err != nil {
+		t.Errorf("committed baseline out of budget: %v", err)
+	}
+}

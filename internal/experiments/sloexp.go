@@ -35,9 +35,16 @@ type SLODetectConfig struct {
 	HorizonSecs float64
 	Seed        int64
 
-	// Crash storm script: Crashes one-shot crashes starting at FirstCrashAt,
-	// CrashEverySecs apart, each restarting after OutageSecs.
+	// Crash storm script: Crashes one-shot crash events starting at
+	// FirstCrashAt, CrashEverySecs apart, each restarting after OutageSecs.
+	// SpareCrashes widens each event into a correlated failure: alongside
+	// the victim, the SpareCrashes servers holding the most free cores go
+	// down in the same event (a rack-style blast). Without it the manager
+	// re-places the displaced service within one monitoring tick — correct
+	// behavior, but it leaves nothing sustained for the alerting to score;
+	// taking out the spare capacity is what makes the outage real.
 	Crashes        int
+	SpareCrashes   int
 	FirstCrashAt   float64
 	CrashEverySecs float64
 	OutageSecs     float64
@@ -72,7 +79,7 @@ func DefaultSLODetectConfig() SLODetectConfig {
 	return SLODetectConfig{
 		Services: 6, SingleNode: 30, Batch: 4, BestEffort: 0,
 		HorizonSecs: 10000, Seed: 7,
-		Crashes: 4, FirstCrashAt: 3600, CrashEverySecs: 1200, OutageSecs: 420,
+		Crashes: 4, SpareCrashes: 2, FirstCrashAt: 3600, CrashEverySecs: 1200, OutageSecs: 420,
 		GraceSecs: 240, MinSustainedSecs: 35,
 		Detector: core.DefaultDetectorOptions(),
 	}
@@ -82,7 +89,10 @@ func DefaultSLODetectConfig() SLODetectConfig {
 // effort workloads resident at the instant the server went down, and when
 // each detection channel noticed.
 type CrashOutage struct {
-	Server    int     `json:"server"`
+	Server int `json:"server"`
+	// Spares are the correlated-failure companions taken down in the same
+	// event: the emptiest servers at crash time (see SpareCrashes).
+	Spares    []int   `json:"spares,omitempty"`
 	At        float64 `json:"at"`
 	RestartAt float64 `json:"restart_at"`
 	// Impacted are the non-best-effort workloads resident at crash time;
@@ -233,6 +243,50 @@ func pickVictim(rt *core.Runtime, down map[int]bool, hit map[string]bool) int {
 	return best
 }
 
+// downNow merges the storm-wide down set with the servers already claimed
+// by the current event, so successive spare picks don't repeat.
+func downNow(a, b map[int]bool) map[int]bool {
+	m := make(map[int]bool, len(a)+len(b))
+	for id := range a {
+		m[id] = true
+	}
+	for id := range b {
+		m[id] = true
+	}
+	return m
+}
+
+// pickSpare chooses a correlated-failure companion: the up, unscripted
+// server (victim excluded) with the most unallocated cores — the exact
+// headroom a displaced service would be re-placed into. Servers hosting a
+// latency-critical placement are skipped: spares are capacity sinks, not
+// extra victims, so each event keeps exactly one ground-truth service
+// displacement. Ties go to the lowest server ID. Returns -1 when no
+// LC-free server is up.
+func pickSpare(rt *core.Runtime, down map[int]bool, victim int) int {
+	best, bestFree := -1, -1.0
+	for _, sv := range rt.Cl.Servers {
+		if sv.ID == victim || down[sv.ID] || !sv.Up() {
+			continue
+		}
+		used, lc := 0.0, false
+		for _, pl := range sv.Placements() {
+			used += float64(pl.Alloc.Cores)
+			if t := rt.Task(pl.WorkloadID); t != nil &&
+				t.W.Type.Class() == perfmodel.LatencyCritical {
+				lc = true
+			}
+		}
+		if lc {
+			continue
+		}
+		if free := float64(sv.Platform.Cores) - used; free > bestFree {
+			best, bestFree = sv.ID, free
+		}
+	}
+	return best
+}
+
 // SLODetect runs the crash-storm detection experiment.
 func SLODetect(cfg SLODetectConfig) (*SLODetectResult, error) {
 	s, err := NewScenario(ScenarioConfig{
@@ -269,24 +323,44 @@ func SLODetect(cfg SLODetectConfig) (*SLODetectResult, error) {
 				Server: sv, At: at, RestartAt: at + cfg.OutageSecs,
 				HBDetectAt: -1, PageAt: -1,
 			}
-			for _, pl := range rt.Cl.Servers[sv].Placements() {
-				t := rt.Task(pl.WorkloadID)
-				if t == nil || t.W.BestEffort {
-					continue
+			// The event's blast radius: the victim plus the SpareCrashes
+			// emptiest servers. Spares are picked before anything goes down
+			// so the headroom snapshot matches what the manager would have
+			// re-placed into.
+			servers := []int{sv}
+			downed := map[int]bool{sv: true}
+			for j := 0; j < cfg.SpareCrashes; j++ {
+				sp := pickSpare(rt, downNow(down, downed), sv)
+				if sp < 0 {
+					break
 				}
-				ev.Impacted = append(ev.Impacted, pl.WorkloadID)
-				hit[pl.WorkloadID] = true
-				if t.W.Type.Class() == perfmodel.LatencyCritical {
-					ev.ImpactedLC = append(ev.ImpactedLC, pl.WorkloadID)
+				servers = append(servers, sp)
+				downed[sp] = true
+				ev.Spares = append(ev.Spares, sp)
+			}
+			for _, id := range servers {
+				for _, pl := range rt.Cl.Servers[id].Placements() {
+					t := rt.Task(pl.WorkloadID)
+					if t == nil || t.W.BestEffort {
+						continue
+					}
+					ev.Impacted = append(ev.Impacted, pl.WorkloadID)
+					hit[pl.WorkloadID] = true
+					if t.W.Type.Class() == perfmodel.LatencyCritical {
+						ev.ImpactedLC = append(ev.ImpactedLC, pl.WorkloadID)
+					}
 				}
 			}
-			down[sv] = true
 			outages = append(outages, ev)
-			rt.CrashServer(sv)
-			rt.Eng.Schedule(ev.RestartAt, func() {
-				rt.RestartServer(sv)
-				delete(down, sv)
-			})
+			for _, id := range servers {
+				id := id
+				down[id] = true
+				rt.CrashServer(id)
+				rt.Eng.Schedule(ev.RestartAt, func() {
+					rt.RestartServer(id)
+					delete(down, id)
+				})
+			}
 		})
 	}
 	// Record when the operator-visible heartbeat detector catches each
@@ -449,8 +523,12 @@ func (r *SLODetectResult) Print(w io.Writer) {
 		if ev.HBDetectAt >= 0 {
 			hb = fmt.Sprintf("hb-dead +%.0fs", ev.HBDetectAt-ev.At)
 		}
-		fprintf(w, "  t=%5.0fs server %2d down %.0fs: %d impacted (%d LC, %.0fs sustained) — %s, %s\n",
-			ev.At, ev.Server, ev.RestartAt-ev.At, len(ev.Impacted), len(ev.ImpactedLC),
+		blast := ""
+		if len(ev.Spares) > 0 {
+			blast = fmt.Sprintf("+%d spares ", len(ev.Spares))
+		}
+		fprintf(w, "  t=%5.0fs server %2d %sdown %.0fs: %d impacted (%d LC, %.0fs sustained) — %s, %s\n",
+			ev.At, ev.Server, blast, ev.RestartAt-ev.At, len(ev.Impacted), len(ev.ImpactedLC),
 			ev.SustainedSecs, page, hb)
 	}
 	fprintf(w, "pages: %d fired, %d true / %d false -> precision %.2f (%d unscored: warm-up/ballast)\n",

@@ -78,12 +78,18 @@ func (d Diurnal) Load(t float64) float64 {
 	return mid + amp*math.Cos(2*math.Pi*(hour-d.PeakHour)/24)
 }
 
-// Noisy wraps a pattern with multiplicative log-normal noise, deterministic
-// per time bucket so repeated queries at the same tick agree.
+// Noisy wraps a pattern with multiplicative log-normal noise. The noise is
+// smooth value noise: an independent standard-normal is pinned at each bucket
+// boundary and smoothstep-interpolated between them, so load drifts
+// continuously instead of jumping at bucket edges — real traffic noise is
+// autocorrelated — and repeated queries at the same instant agree.
 type Noisy struct {
-	P          Pattern
-	CV         float64
-	Seed       int64
+	P    Pattern
+	CV   float64
+	Seed int64
+	// BucketSecs is the noise decorrelation interval: boundary normals are
+	// independent, and the noise drifts smoothly in between. Aggregate QPS
+	// noise evolves over minutes, not per query, so the default is 60s.
 	BucketSecs float64
 }
 
@@ -95,11 +101,15 @@ func (n Noisy) Load(t float64) float64 {
 	}
 	b := n.BucketSecs
 	if b <= 0 {
-		b = 1
+		b = 60
 	}
 	bucket := int64(t / b)
-	rng := sim.NewRNG(n.Seed*1_000_003 + bucket)
-	return rng.Jitter(base, n.CV)
+	frac := t/b - float64(bucket)
+	u := frac * frac * (3 - 2*frac) // smoothstep
+	seed := n.Seed*1_000_003 + bucket
+	z := (1-u)*sim.HashNormal(seed) + u*sim.HashNormal(seed+1)
+	sigma := math.Sqrt(math.Log(1 + n.CV*n.CV))
+	return base * math.Exp(-sigma*sigma/2+sigma*z)
 }
 
 // Scaled multiplies a pattern by K.

@@ -69,11 +69,20 @@ func TestDiurnalPeak(t *testing.T) {
 
 func TestNoisyDeterministicPerBucket(t *testing.T) {
 	n := Noisy{P: Flat{QPS: 100}, CV: 0.1, Seed: 7, BucketSecs: 5}
-	if n.Load(12.3) != n.Load(13.9) {
-		t.Fatal("same bucket gave different loads")
+	if n.Load(12.3) != n.Load(12.3) {
+		t.Fatal("same instant gave different loads")
 	}
 	if n.Load(12.3) == n.Load(30) {
 		t.Fatal("different buckets gave identical loads (suspicious)")
+	}
+	// The noise is smooth value noise: it moves within a bucket but never
+	// jumps at a boundary.
+	if n.Load(12.3) == n.Load(13.9) {
+		t.Fatal("noise frozen within bucket")
+	}
+	const eps = 1e-9
+	if math.Abs(n.Load(10-eps)-n.Load(10+eps)) > 0.01 {
+		t.Fatalf("noise jumps at bucket boundary: %v vs %v", n.Load(10-eps), n.Load(10+eps))
 	}
 	// Zero CV passes through.
 	clean := Noisy{P: Flat{QPS: 100}}

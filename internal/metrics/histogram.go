@@ -3,7 +3,6 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Histogram is a bounded-memory log-linear streaming histogram in the
@@ -99,7 +98,17 @@ func (h *Histogram) AddN(v float64, n int) {
 		return
 	}
 	i := h.bucketOf(v)
-	k := sort.Search(len(h.idx), func(j int) bool { return h.idx[j] >= i })
+	// Manual binary search: sort.Search's closure would allocate on every
+	// observation.
+	k, hi := 0, len(h.idx)
+	for k < hi {
+		mid := int(uint(k+hi) >> 1)
+		if h.idx[mid] < i {
+			k = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	if k < len(h.idx) && h.idx[k] == i {
 		h.cnt[k] += w
 		return

@@ -18,13 +18,13 @@ type Shard struct {
 // returns n nil shards, whose methods are no-ops, so fan-out code needs no
 // enabled-check of its own.
 func (t *Tracer) Shards(n int) []*Shard {
-	shards := make([]*Shard, n)
+	shards := make([]*Shard, n) //lint:allow(hotalloc) one slice per fan-out, amortized over its n tasks
 	if t == nil {
 		return shards
 	}
 	tm := t.now()
 	for i := range shards {
-		shards[i] = &Shard{time: tm}
+		shards[i] = &Shard{time: tm} //lint:allow(hotalloc) per-fan-out task buffer; shards are handed to concurrent tasks, so pooling would race
 	}
 	return shards
 }
@@ -59,6 +59,7 @@ func (t *Tracer) Merge(shards []*Shard) {
 			ev := s.events[i]
 			t.seq++
 			ev.Seq = t.seq
+			//lint:allow(hotalloc) the parent stream retains the trace by design; growth is the recorded data itself
 			t.events = append(t.events, ev)
 		}
 		s.events = nil

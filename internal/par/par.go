@@ -85,12 +85,15 @@ func ParFor(workers, n int, fn func(i int)) {
 	)
 	wg.Add(w)
 	for k := 0; k < w; k++ {
+		//lint:allow(hotalloc) one worker closure per fan-out, amortized over the n tasks it drains
 		go func() {
 			defer wg.Done()
+			//lint:allow(hotalloc) one recover handler per worker per fan-out, amortized as above
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
 					if panicV == nil {
+						//lint:allow(parcapture) first-panic capture: mutex-guarded, and which panic wins never affects results (the run aborts)
 						panicV = r
 					}
 					panicMu.Unlock()

@@ -108,6 +108,13 @@ type Scheduler struct {
 	// Tracer, when non-nil, receives one decision event per Schedule call
 	// carrying the full candidate ranking and the chosen assignment.
 	Tracer *obs.Tracer
+
+	// candBuf and zoneScratch are reused across Schedule calls so ranking
+	// does not reallocate per decision. The scheduler is driven from the
+	// single-goroutine simulation loop, so unsynchronized reuse is safe.
+	candBuf     []candidate
+	sorter      candSorter
+	zoneScratch map[int]bool
 }
 
 // New returns a scheduler.
@@ -118,7 +125,7 @@ func New(c *cluster.Cluster, opts Options) *Scheduler {
 	if opts.MinFill <= 0 {
 		opts.MinFill = 0.25
 	}
-	return &Scheduler{Cluster: c, Opts: opts}
+	return &Scheduler{Cluster: c, Opts: opts, zoneScratch: make(map[int]bool)}
 }
 
 // CostPerCoreHour prices a platform's cores: faster cores cost more. The
@@ -148,15 +155,41 @@ func freeAfterEviction(s *cluster.Server) (cores int, mem float64, evictable []*
 		if pl.BestEffort {
 			cores += pl.Alloc.Cores
 			mem += pl.Alloc.MemoryGB
+			//lint:allow(hotalloc) nil in the common case: only allocates when best-effort residents are present
 			evictable = append(evictable, pl)
 		}
 	}
 	return cores, mem, evictable
 }
 
-// rank orders servers by decreasing quality for this request.
+// candSorter sorts ranked candidates by decreasing quality. It lives as a
+// field on the Scheduler so sort.Sort receives an interior pointer and the
+// interface conversion never allocates (sort.Slice's closure would).
+type candSorter struct{ cands []candidate }
+
+func (cs *candSorter) Len() int      { return len(cs.cands) }
+func (cs *candSorter) Swap(i, j int) { cs.cands[i], cs.cands[j] = cs.cands[j], cs.cands[i] }
+
+func (cs *candSorter) Less(i, j int) bool {
+	cands := cs.cands
+	if cands[i].quality != cands[j].quality { //lint:allow(floatcmp) sort tie-break: any consistent order is fine
+		return cands[i].quality > cands[j].quality
+	}
+	// Tie-break toward bigger machines (fewer nodes for the same
+	// estimated quality), then by ID for determinism.
+	ci := float64(cands[i].server.Platform.Cores) * cands[i].server.Platform.CorePerf
+	cj := float64(cands[j].server.Platform.Cores) * cands[j].server.Platform.CorePerf
+	if ci != cj { //lint:allow(floatcmp) sort tie-break: any consistent order is fine
+		return ci > cj
+	}
+	return cands[i].server.ID < cands[j].server.ID
+}
+
+// rank orders servers by decreasing quality for this request. The returned
+// slice aliases the scheduler's scratch buffer and is valid until the next
+// Schedule call.
 func (s *Scheduler) rank(req *Request) []candidate {
-	var cands []candidate
+	cands := s.candBuf[:0]
 	for _, srv := range s.Cluster.Servers {
 		if !srv.Schedulable() {
 			// Never place on a down, partitioned, or detector-suspect
@@ -190,6 +223,7 @@ func (s *Scheduler) rank(req *Request) []candidate {
 			// residents is a last resort.
 			quality *= 0.05
 		}
+		//lint:allow(hotalloc) append into receiver-owned scratch: grows to cluster size once, then steady-state reuses capacity
 		cands = append(cands, candidate{
 			server: srv, pidx: pidx, quality: quality,
 			freeCores: cores, freeMem: mem,
@@ -197,19 +231,9 @@ func (s *Scheduler) rank(req *Request) []candidate {
 			evictable: evictable,
 		})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].quality != cands[j].quality { //lint:allow(floatcmp) sort tie-break: any consistent order is fine
-			return cands[i].quality > cands[j].quality
-		}
-		// Tie-break toward bigger machines (fewer nodes for the same
-		// estimated quality), then by ID for determinism.
-		ci := float64(cands[i].server.Platform.Cores) * cands[i].server.Platform.CorePerf
-		cj := float64(cands[j].server.Platform.Cores) * cands[j].server.Platform.CorePerf
-		if ci != cj { //lint:allow(floatcmp) sort tie-break: any consistent order is fine
-			return ci > cj
-		}
-		return cands[i].server.ID < cands[j].server.ID
-	})
+	s.candBuf = cands
+	s.sorter.cands = cands
+	sort.Sort(&s.sorter)
 	return cands
 }
 
@@ -244,6 +268,16 @@ func (s *Scheduler) compatible(req *Request, srv *cluster.Server) bool {
 // memGrid is the quantized memory ladder used when right-sizing.
 var memGrid = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
 
+// coreGrid is the quantized scale-up ladder of core counts.
+var coreGrid = [...]int{1, 2, 4, 6, 8, 12, 16, 20, 24, 32}
+
+// sizeOption is one feasible right-sized allocation with its estimated
+// performance.
+type sizeOption struct {
+	alloc cluster.Alloc
+	perf  float64
+}
+
 // rightSizeAlloc picks the smallest allocation on a candidate that achieves
 // perf >= want there, or the largest achievable if none does. It walks the
 // quantized scale-up grid: cores ascending, and for each core count the
@@ -256,13 +290,11 @@ func (s *Scheduler) rightSizeAlloc(req *Request, cand candidate, want float64) (
 		pressure = cluster.ResVec{}
 	}
 	// First pass: the right-sized (least-memory) allocation and its
-	// estimated performance at each feasible core count.
-	type option struct {
-		alloc cluster.Alloc
-		perf  float64
-	}
-	var opts []option
-	for _, c := range []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 32} {
+	// estimated performance at each feasible core count. The buffer is a
+	// stack array: at most one option per grid rung.
+	var optBuf [len(coreGrid)]sizeOption
+	opts := optBuf[:0]
+	for _, c := range coreGrid {
 		if c > cand.freeCores || c > cand.server.Platform.Cores {
 			continue
 		}
@@ -296,7 +328,8 @@ func (s *Scheduler) rightSizeAlloc(req *Request, cand candidate, want float64) (
 				break
 			}
 		}
-		opts = append(opts, option{alloc, perf})
+		//lint:allow(hotalloc) append into a stack array sized to the grid: capacity is never exceeded
+		opts = append(opts, sizeOption{alloc, perf})
 		if perf >= want {
 			return alloc, perf
 		}
@@ -325,6 +358,8 @@ func (s *Scheduler) rightSizeAlloc(req *Request, cand candidate, want float64) (
 // emitDecision records the full Schedule outcome — every ranked candidate's
 // inputs plus the picks — on the tracer. It is only called when the tracer is
 // enabled, so callers on the hot path pay a single nil check.
+//
+//quasar:cold tracing-only: every call site guards with s.Tracer.Enabled()
 func (s *Scheduler) emitDecision(req *Request, want float64, cands []candidate, asn *Assignment, outcome string) {
 	d := obs.ScheduleDecision{
 		Workload: req.W.ID, NeedPerf: req.NeedPerf, Want: want,
@@ -365,6 +400,7 @@ func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
 		if s.Tracer.Enabled() {
 			s.emitDecision(req, 0, nil, nil, obs.OutcomeBadRequest)
 		}
+		//lint:allow(hotalloc) bad-request error path: never taken by a well-formed caller
 		return nil, fmt.Errorf("sched: request for %s with NeedPerf %v", req.W.ID, req.NeedPerf)
 	}
 	maxNodes := req.MaxNodes
@@ -380,11 +416,14 @@ func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
 		return nil, ErrNoCapacity
 	}
 
+	//lint:allow(hotalloc) the assignment is the returned decision: one allocation per Schedule call by contract
 	asn := &Assignment{}
-	perNode := make([]float64, 0, maxNodes)
 	sumPerf := 0.0
-	est := func(n int) float64 { return sumPerf * req.Est.ScaleOutEff(n) }
-	usedZones := map[int]bool{}
+	if s.zoneScratch == nil {
+		s.zoneScratch = make(map[int]bool) //lint:allow(hotalloc) lazy init for zero-value schedulers: runs once
+	}
+	clear(s.zoneScratch)
+	usedZones := s.zoneScratch
 
 	for ci := 0; ci < len(cands); ci++ {
 		cand := cands[ci]
@@ -435,18 +474,19 @@ func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
 		if req.MaxCostPerHour > 0 && asn.CostPerHour+cost > req.MaxCostPerHour {
 			continue
 		}
+		//lint:allow(hotalloc) building the returned assignment: bounded by MaxNodes
 		asn.Nodes = append(asn.Nodes, NodeAssign{Server: cand.server, Alloc: alloc})
 		usedZones[cand.server.Zone] = true
 		asn.CostPerHour += cost
-		perNode = append(perNode, perf)
 		sumPerf += perf
 		for _, ev := range cand.evictable {
 			// Only evict what the allocation actually needs.
 			if alloc.Cores > cand.server.FreeCores() || alloc.MemoryGB > cand.server.FreeMemGB() {
+				//lint:allow(hotalloc) building the returned eviction list: bounded by displaced residents
 				asn.Evictions = append(asn.Evictions, ev.WorkloadID)
 			}
 		}
-		if est(len(asn.Nodes)) >= want {
+		if sumPerf*req.Est.ScaleOutEff(len(asn.Nodes)) >= want {
 			break
 		}
 	}
@@ -457,7 +497,7 @@ func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
 		}
 		return nil, ErrNoCapacity
 	}
-	asn.EstPerf = est(len(asn.Nodes))
+	asn.EstPerf = sumPerf * req.Est.ScaleOutEff(len(asn.Nodes))
 	if !req.AcceptPartial && asn.EstPerf < req.NeedPerf*s.Opts.MinFill {
 		if s.Tracer.Enabled() {
 			s.emitDecision(req, want, cands, asn, obs.OutcomeBelowMinFill)

@@ -67,6 +67,11 @@ type Engine struct {
 	nextID  EventID
 	live    map[EventID]*event
 	fired   uint64
+	// free recycles fired and cancelled event records so steady-state
+	// operation allocates nothing per event: a long simulation's event
+	// count is bounded only by virtual time, and one heap object per event
+	// was the engine's dominant allocation.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -88,10 +93,25 @@ func (e *Engine) Schedule(at float64, fn func()) EventID {
 	}
 	e.nextID++
 	e.nextSeq++
-	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.id, ev.fn = at, e.nextSeq, e.nextID, fn
+	} else {
+		ev = &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn} //lint:allow(hotalloc) freelist refill: amortized away once the event population peaks
+	}
 	heap.Push(&e.pq, ev)
 	e.live[ev.id] = ev
 	return ev.id
+}
+
+// recycle returns a popped or cancelled event record to the freelist. The
+// fn reference is dropped so recycling never pins a closure's captures.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After runs fn after delay seconds of virtual time.
@@ -108,6 +128,7 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 	heap.Remove(&e.pq, ev.index)
 	delete(e.live, id)
+	e.recycle(ev)
 	return true
 }
 
@@ -124,7 +145,9 @@ func (e *Engine) Step() bool {
 	delete(e.live, ev.id)
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 	return true
 }
 

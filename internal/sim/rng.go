@@ -101,3 +101,39 @@ func (g *RNG) Jitter(x, cv float64) float64 {
 	sigma := math.Sqrt(math.Log(1 + cv*cv))
 	return x * g.LogNormal(-sigma*sigma/2, sigma)
 }
+
+// splitmix64 advances and mixes a 64-bit state; the standard stateless
+// avalanche step (Steele et al.), strong enough to decorrelate adjacent
+// seeds.
+func splitmix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// HashNormal is a stateless standard-normal draw derived purely from seed
+// via splitmix64 and Box-Muller. The same seed always yields the same value,
+// so call sites that need "the same noise for the same bucket" (loadgen's
+// per-bucket noise) get determinism without constructing a generator per
+// query — building a math/rand state is a multi-kilobyte allocation.
+func HashNormal(seed int64) float64 {
+	h1 := splitmix64(uint64(seed))
+	h2 := splitmix64(uint64(seed) + 0x632be59bd9b4e019)
+	// Two uniforms from the top 53 bits; u1 in (0,1] so the log is finite.
+	u1 := (float64(h1>>11) + 1) / (1 << 53)
+	u2 := float64(h2>>11) / (1 << 53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// HashJitter is the stateless counterpart of Jitter: it multiplies x by a
+// log-normal factor with the given coefficient of variation, derived purely
+// from seed.
+func HashJitter(seed int64, x, cv float64) float64 {
+	if cv <= 0 {
+		return x
+	}
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	return x * math.Exp(-sigma*sigma/2+sigma*HashNormal(seed))
+}

@@ -68,6 +68,12 @@ type tickResult struct {
 	finalize bool
 }
 
+// evalItem pairs a workload's monitor state with its task for one sweep.
+type evalItem struct {
+	ws *wstate
+	t  *core.Task
+}
+
 // Engine monitors every non-best-effort workload of a runtime against its
 // SLO and scores server and cluster health. Create it with Attach; it then
 // runs itself from the runtime's tick.
@@ -89,6 +95,13 @@ type Engine struct {
 	ClusterHealth metrics.Series
 
 	nextHealth float64
+
+	// evalBuf and resultsBuf are reused across ticks so the sweep does not
+	// reallocate its evaluation list and result table every tick. onTick
+	// runs on the single simulation goroutine.
+	evalBuf    []evalItem
+	resultsBuf []tickResult
+	scoreBuf   []float64
 
 	pagesFired     *obs.Counter
 	ticketsFired   *obs.Counter
@@ -136,7 +149,9 @@ func (e *Engine) windowTicks(secs float64) int {
 	return n
 }
 
-// track starts monitoring a workload on first sight.
+// newState starts monitoring a workload on first sight.
+//
+//quasar:cold first-sight initialization: runs once per workload lifetime, not per tick
 func (e *Engine) newState(t *core.Task) *wstate {
 	class := t.W.Type.Class()
 	goal := e.opts.GoalBatch
@@ -185,11 +200,7 @@ func started(t *core.Task) bool {
 func (e *Engine) onTick(now float64) {
 	// Build this tick's evaluation list in submission order. Best-effort
 	// workloads carry no guarantee, so they carry no SLO.
-	type item struct {
-		ws *wstate
-		t  *core.Task
-	}
-	var eval []item
+	eval := e.evalBuf[:0]
 	for _, t := range e.rt.Tasks() {
 		if t.W.BestEffort {
 			continue
@@ -199,6 +210,7 @@ func (e *Engine) onTick(now float64) {
 			if t.Status != core.StatusCompleted && started(t) {
 				ws = e.newState(t)
 				e.states[t.W.ID] = ws
+				//lint:allow(hotalloc) once per workload lifetime, at first sight
 				e.order = append(e.order, t.W.ID)
 			} else {
 				continue
@@ -207,8 +219,10 @@ func (e *Engine) onTick(now float64) {
 		if ws.done {
 			continue
 		}
-		eval = append(eval, item{ws: ws, t: t})
+		//lint:allow(hotalloc) append into receiver-owned scratch: grows to the tracked-workload count once
+		eval = append(eval, evalItem{ws: ws, t: t})
 	}
+	e.evalBuf = eval
 
 	n := len(eval)
 	if n > 0 {
@@ -220,7 +234,11 @@ func (e *Engine) onTick(now float64) {
 		// per-task shards merged in input order, so the trace does not
 		// depend on the worker count.
 		shards := e.tr.Shards(n)
-		results := make([]tickResult, n)
+		if cap(e.resultsBuf) < n {
+			e.resultsBuf = make([]tickResult, n) //lint:allow(hotalloc) grow-once scratch: steady-state ticks reuse it
+		}
+		results := e.resultsBuf[:n]
+		//lint:allow(hotalloc) one closure per fan-out, amortized over every task in the sweep
 		par.ParFor(workers, n, func(i int) {
 			results[i] = e.evalOne(eval[i].ws, eval[i].t, now, shards[i])
 		})
@@ -236,6 +254,7 @@ func (e *Engine) onTick(now float64) {
 				} else {
 					e.ticketsFired.Inc()
 				}
+				//lint:allow(hotalloc) alert fires are rare events and the episode log is retained by design
 				e.episodes = append(e.episodes, Episode{
 					Workload: ws.id, Rule: rule.Name, FireAt: now, ResolveAt: -1,
 				})
@@ -281,6 +300,7 @@ func (e *Engine) evalOne(ws *wstate, t *core.Task, now float64, sh *obs.Shard) t
 					obs.Arg{Key: "peak_burn", Val: r.peakBurn},
 					obs.Arg{Key: "reason", Val: "completed"})
 			}
+			//lint:allow(hotalloc) completion-time resolve: runs once per workload lifetime, bounded by len(Rules)
 			res.resolved = append(res.resolved, ri)
 		}
 		res.finalize = true
@@ -319,6 +339,7 @@ func (e *Engine) evalOne(ws *wstate, t *core.Task, now float64, sh *obs.Shard) t
 						obs.Arg{Key: "bad_secs_long", Val: float64(r.long.bad) * e.tick},
 						obs.Arg{Key: "bad_secs_short", Val: float64(r.short.bad) * e.tick})
 				}
+				//lint:allow(hotalloc) alert fires are rare: nil in the steady state, bounded by len(Rules)
 				res.fired = append(res.fired, ri)
 			}
 			continue
@@ -341,6 +362,7 @@ func (e *Engine) evalOne(ws *wstate, t *core.Task, now float64, sh *obs.Shard) t
 						obs.Arg{Key: "peak_burn", Val: r.peakBurn},
 						obs.Arg{Key: "burn_short", Val: burnS})
 				}
+				//lint:allow(hotalloc) alert resolves are rare: nil in the steady state, bounded by len(Rules)
 				res.resolved = append(res.resolved, ri)
 			}
 		} else {

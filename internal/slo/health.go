@@ -81,7 +81,11 @@ func (e *Engine) serverScore(s *cluster.Server) float64 {
 // It runs sequentially on the sim goroutine: the per-server loop is cheap
 // and its order (the cluster's server slice) is part of the trace contract.
 func (e *Engine) healthSweep(now float64) {
-	scores := make([]float64, len(e.rt.Cl.Servers))
+	n := len(e.rt.Cl.Servers)
+	if cap(e.scoreBuf) < n {
+		e.scoreBuf = make([]float64, n) //lint:allow(hotalloc) grow-once scratch: Heatmap.Sample copies, so sweeps reuse it
+	}
+	scores := e.scoreBuf[:n]
 	sum := 0.0
 	for i, s := range e.rt.Cl.Servers {
 		scores[i] = e.serverScore(s)
