@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo trace-diff trace-diff-chaos trace-diff-slo fmt-check ci
+.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo bench-scale trace-diff trace-diff-chaos trace-diff-slo trace-diff-scale fmt-check ci
 
 all: build
 
@@ -52,6 +52,12 @@ bench-chaos:
 bench-slo:
 	$(GO) run ./cmd/quasar-bench -slobench-out BENCH_slo.json slobench
 
+## bench-scale: sweep cluster sizes (100 -> 10k servers), time indexed vs
+## full-scan scheduling and calendar vs heap event cores, refresh
+## BENCH_scale.json, and fail below the scaling contract
+bench-scale:
+	$(GO) run ./cmd/quasar-bench -scalebench-out BENCH_scale.json scalebench
+
 ## trace-diff: assert the trace is byte-identical across worker counts
 trace-diff:
 	$(GO) run ./cmd/quasar-sim -horizon 4000 -workers 1 -trace /tmp/quasar-trace-w1.jsonl >/dev/null
@@ -72,6 +78,15 @@ trace-diff-slo:
 	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 4 -slo -faults internal/chaos/testdata/storm.json -trace /tmp/quasar-slo-w4.jsonl >/dev/null
 	cmp /tmp/quasar-slo-w1.jsonl /tmp/quasar-slo-w4.jsonl
 	$(GO) run ./cmd/quasar-trace -alerts /tmp/quasar-slo-w1.jsonl
+
+## trace-diff-scale: same contract at scale (1k servers, 10k workloads)
+trace-diff-scale:
+	$(GO) run ./cmd/quasar-sim -servers 1000 -gap 0.02 -horizon 260 -hadoop 0 -spark 0 -storm 0 \
+		-services 20 -single 480 -besteffort 9500 -workers 1 -trace /tmp/quasar-scale-w1.jsonl >/dev/null
+	$(GO) run ./cmd/quasar-sim -servers 1000 -gap 0.02 -horizon 260 -hadoop 0 -spark 0 -storm 0 \
+		-services 20 -single 480 -besteffort 9500 -workers 4 -trace /tmp/quasar-scale-w4.jsonl >/dev/null
+	cmp /tmp/quasar-scale-w1.jsonl /tmp/quasar-scale-w4.jsonl
+	$(GO) run ./cmd/quasar-trace /tmp/quasar-scale-w1.jsonl
 
 ## fmt-check: fail if any file needs gofmt
 fmt-check:

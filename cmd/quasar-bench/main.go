@@ -30,6 +30,12 @@
 // writes the record to -allocbench-out (default BENCH_alloc.json); counts
 // over the committed budgets exit non-zero.
 //
+// The "scalebench" artifact (not in the default suite) sweeps cluster sizes
+// (100 → 10k servers), timing indexed vs full-scan scheduling and the
+// calendar-queue vs heap event cores, and writes the record to
+// -scalebench-out (default BENCH_scale.json); speedups below the scaling
+// contract exit non-zero.
+//
 // The -quick flag shrinks every scenario (fewer workloads, shorter
 // horizons) for a fast smoke pass.
 package main
@@ -53,6 +59,7 @@ func main() {
 	chaosbenchOut := flag.String("chaosbench-out", "BENCH_chaos.json", "output path for the chaosbench artifact")
 	slobenchOut := flag.String("slobench-out", "BENCH_slo.json", "output path for the slobench artifact")
 	allocbenchOut := flag.String("allocbench-out", "BENCH_alloc.json", "output path for the allocbench artifact")
+	scalebenchOut := flag.String("scalebench-out", "BENCH_scale.json", "output path for the scalebench artifact")
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
 
@@ -244,6 +251,16 @@ func main() {
 			die(err)
 			res.Print(os.Stdout)
 			die(res.WriteJSON(*allocbenchOut))
+			die(res.Check())
+		case "scalebench":
+			cfg := experiments.DefaultScaleBenchConfig()
+			if *quick {
+				cfg = experiments.QuickScaleBenchConfig()
+			}
+			res, err := experiments.ScaleBench(cfg)
+			die(err)
+			res.Print(os.Stdout)
+			die(res.WriteJSON(*scalebenchOut))
 			die(res.Check())
 		case "obsbench":
 			cfg := experiments.DefaultObsBenchConfig()

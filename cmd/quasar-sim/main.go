@@ -6,6 +6,12 @@
 //
 //	quasar-sim -manager quasar -cluster local40 -hadoop 6 -services 4 \
 //	           -single 40 -besteffort 60 -horizon 20000 -seed 7
+//
+// At-scale runs override the testbed preset with a uniform cluster and pack
+// submissions tighter:
+//
+//	quasar-sim -servers 1000 -gap 0.02 -horizon 260 -hadoop 0 -spark 0 \
+//	           -storm 0 -services 20 -single 480 -besteffort 9500
 package main
 
 import (
@@ -28,6 +34,8 @@ func main() {
 	var (
 		managerName = flag.String("manager", "quasar", "quasar | reservation-ll | reservation-paragon | framework | autoscale | mesos-drf")
 		clusterName = flag.String("cluster", "local40", "local40 | ec2x200")
+		servers     = flag.Int("servers", 0, "override -cluster with a uniform spread of the local platforms at this size")
+		gap         = flag.Float64("gap", 5, "simulated seconds between submissions")
 		hadoop      = flag.Int("hadoop", 4, "Hadoop jobs to submit")
 		spark       = flag.Int("spark", 2, "Spark jobs")
 		storm       = flag.Int("storm", 2, "Storm jobs")
@@ -60,7 +68,8 @@ func main() {
 	}
 
 	s, err := experiments.NewScenario(experiments.ScenarioConfig{
-		Cluster: cl, Manager: kind, Seed: *seed, MaxNodes: 4, SeedLib: 3, Misestimate: true,
+		Cluster: cl, Servers: *servers, Manager: kind, Seed: *seed, MaxNodes: 4,
+		SeedLib: 3, Misestimate: true,
 		Trace: *tracePath != "", SLO: *sloFlag,
 	})
 	if err != nil {
@@ -93,7 +102,7 @@ func main() {
 			load = loadgen.Fluctuating{Min: 0.4 * w.Target.QPS, Max: 0.9 * w.Target.QPS, Period: 6000}
 		}
 		tasks = append(tasks, s.RT.Submit(w, at, load))
-		at += 5
+		at += *gap
 	}
 	for i := 0; i < *hadoop; i++ {
 		submit(workload.Spec{Type: workload.Hadoop, Family: i % 3, MaxNodes: 3, TargetSlack: 1.2,
@@ -129,8 +138,12 @@ func main() {
 		fmt.Printf("trace: %d events -> %s (%s)\n", s.Tracer.Len(), *tracePath, *traceFormat)
 	}
 
+	clusterLabel := *clusterName
+	if *servers > 0 {
+		clusterLabel = fmt.Sprintf("uniform%d", *servers)
+	}
 	fmt.Printf("manager=%s cluster=%s horizon=%.0fs workloads=%d\n",
-		s.Mgr.Name(), *clusterName, *horizon, len(tasks))
+		s.Mgr.Name(), clusterLabel, *horizon, len(tasks))
 	byStatus := map[core.Status]int{}
 	sum, n := 0.0, 0
 	for _, t := range tasks {

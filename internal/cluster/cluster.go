@@ -94,6 +94,20 @@ type Server struct {
 	partitioned bool
 	degrade     ResVec
 	det         DetectorState
+
+	// Free-resource index state (see index.go). cl/pidx tie the server to
+	// its owning cluster's index; standalone servers leave cl nil. The ev*
+	// fields cache free-after-eviction capacity, recomputed on every
+	// mutation with the same accumulation order as the scheduler's full
+	// scan so the cache is bit-identical to a recompute.
+	cl      *Cluster
+	pidx    int
+	ixKind  int8
+	ixBand  int
+	ixPos   int
+	evCores int
+	evMemGB float64
+	beList  []*Placement
 }
 
 // NewServer returns an empty server of the given platform.
@@ -132,6 +146,7 @@ func (s *Server) SetDown() {
 	s.down = true
 	s.degrade = ResVec{}
 	s.partitioned = false
+	s.reindex()
 }
 
 // SetUp brings a crashed server back. It rejoins clean: not partitioned, not
@@ -140,11 +155,18 @@ func (s *Server) SetUp() {
 	s.down = false
 	s.degrade = ResVec{}
 	s.partitioned = false
+	s.reindex()
 }
 
 // SetPartitioned sets whether the server is network-partitioned from the
 // manager: it keeps running resident work, but heartbeats are lost.
-func (s *Server) SetPartitioned(p bool) { s.partitioned = p }
+func (s *Server) SetPartitioned(p bool) {
+	if s.partitioned == p {
+		return
+	}
+	s.partitioned = p
+	s.reindex()
+}
 
 // Partitioned reports whether heartbeats from this server are being lost.
 func (s *Server) Partitioned() bool { return s.partitioned }
@@ -155,7 +177,13 @@ func (s *Server) Reachable() bool { return !s.down && !s.partitioned }
 
 // SetDegrade installs extra interference pressure modeling a transient
 // slowdown (degraded IPC). It replaces any previous degradation.
-func (s *Server) SetDegrade(v ResVec) { s.degrade = v }
+func (s *Server) SetDegrade(v ResVec) {
+	if s.degrade == v {
+		return
+	}
+	s.degrade = v
+	s.reindex()
+}
 
 // Degrade returns the current slowdown pressure.
 func (s *Server) Degrade() ResVec { return s.degrade }
@@ -175,7 +203,14 @@ func (s *Server) Det() DetectorState { return s.det }
 
 // SetDet records the failure detector's belief. Only the runtime's heartbeat
 // detector should call this.
-func (s *Server) SetDet(d DetectorState) { s.det = d }
+func (s *Server) SetDet(d DetectorState) {
+	if s.det == d {
+		// Heartbeats confirm the common case every beat; skip the reindex.
+		return
+	}
+	s.det = d
+	s.reindex()
+}
 
 // Schedulable reports whether the scheduler may place new work here: the
 // server is reachable and the failure detector does not suspect it.
@@ -208,6 +243,7 @@ func (s *Server) Place(workloadID string, alloc Alloc, caused ResVec, bestEffort
 	s.usedCores += alloc.Cores
 	s.usedMemGB += alloc.MemoryGB
 	s.pressure = s.pressure.Add(caused)
+	s.reindex()
 	return pl, nil
 }
 
@@ -230,6 +266,7 @@ func (s *Server) Remove(workloadID string) error {
 	s.usedCores -= pl.Alloc.Cores
 	s.usedMemGB -= pl.Alloc.MemoryGB
 	s.pressure = s.pressure.Sub(pl.Caused)
+	s.reindex()
 	return nil
 }
 
@@ -253,6 +290,7 @@ func (s *Server) Resize(workloadID string, alloc Alloc, caused ResVec) error {
 	s.pressure = s.pressure.Sub(pl.Caused).Add(caused)
 	pl.Alloc = alloc
 	pl.Caused = caused
+	s.reindex()
 	return nil
 }
 
@@ -270,7 +308,13 @@ func (s *Server) NumPlacements() int { return len(s.placements) }
 
 // SetProbe injects extra shared-resource pressure (the interference
 // microbenchmarks of §3.2/§4.1). It replaces any previous probe.
-func (s *Server) SetProbe(p ResVec) { s.probe = p }
+func (s *Server) SetProbe(p ResVec) {
+	if s.probe == p {
+		return
+	}
+	s.probe = p
+	s.reindex()
+}
 
 // Probe returns the currently injected probe pressure.
 func (s *Server) Probe() ResVec { return s.probe }
@@ -283,6 +327,7 @@ func (s *Server) SetIsolation(v ResVec) {
 	for r := range v {
 		s.isolation[r] = clampUnit(v[r])
 	}
+	s.reindex()
 }
 
 // Isolation returns the current partitioning configuration.
@@ -375,6 +420,7 @@ type Cluster struct {
 	Servers   []*Server
 
 	byPlatform map[string][]*Server
+	index      *FreeIndex
 }
 
 // New builds a cluster with count[i] servers of platforms[i].
@@ -390,11 +436,13 @@ func New(platforms []Platform, counts []int) (*Cluster, error) {
 		}
 		for j := 0; j < counts[i]; j++ {
 			s := NewServer(id, &c.Platforms[i])
+			s.cl, s.pidx = c, i
 			c.Servers = append(c.Servers, s)
 			c.byPlatform[platforms[i].Name] = append(c.byPlatform[platforms[i].Name], s)
 			id++
 		}
 	}
+	c.index = newFreeIndex(c)
 	return c, nil
 }
 

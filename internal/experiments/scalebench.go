@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"quasar/internal/classify"
+	"quasar/internal/cluster"
+	"quasar/internal/sched"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// ScaleBench measures how the two PR-scale fast paths hold up as the cluster
+// grows: schedules/sec through the free-resource index vs the full-scan
+// oracle ranker, and events/sec through the calendar-queue engine core vs
+// the binary-heap oracle. Each point packs most servers full (the regime
+// where indexed ranking pays: full servers are never visited, and the
+// pristine spares of a platform are appraised once) and then times both
+// implementations on identical inputs. Rates come from the wall clock; only
+// the speedup ratios are meaningful across hosts.
+
+// ScalePointConfig sizes one sweep point.
+type ScalePointConfig struct {
+	Servers   int `json:"servers"`
+	Workloads int `json:"workloads"`
+}
+
+// ScaleBenchConfig configures the sweep.
+type ScaleBenchConfig struct {
+	Points []ScalePointConfig
+	Seed   int64
+	// MaxSecsPerMeasure time-boxes each timed loop: iteration stops once the
+	// box is exceeded (the full scan at 10k servers would otherwise take
+	// minutes). At least one iteration always runs.
+	MaxSecsPerMeasure float64
+}
+
+// DefaultScaleBenchConfig returns the committed sweep: 100 → 10k servers
+// with 10× as many workload-scaled operations per point.
+func DefaultScaleBenchConfig() ScaleBenchConfig {
+	return ScaleBenchConfig{
+		Points: []ScalePointConfig{
+			{Servers: 100, Workloads: 1000},
+			{Servers: 1000, Workloads: 10000},
+			{Servers: 10000, Workloads: 100000},
+		},
+		Seed:              20260808,
+		MaxSecsPerMeasure: 1.0,
+	}
+}
+
+// QuickScaleBenchConfig returns the CI smoke sweep: small enough for a lane,
+// big enough that the 1k-server point must still beat the full scan.
+func QuickScaleBenchConfig() ScaleBenchConfig {
+	return ScaleBenchConfig{
+		Points: []ScalePointConfig{
+			{Servers: 100, Workloads: 1000},
+			{Servers: 1000, Workloads: 5000},
+		},
+		Seed:              20260808,
+		MaxSecsPerMeasure: 0.25,
+	}
+}
+
+// ScalePoint is one measured sweep point.
+type ScalePoint struct {
+	Servers              int     `json:"servers"`
+	Workloads            int     `json:"workloads"`
+	IndexedSchedPerSec   float64 `json:"indexed_schedules_per_sec"`
+	FullScanSchedPerSec  float64 `json:"full_scan_schedules_per_sec"`
+	SchedSpeedup         float64 `json:"sched_speedup"`
+	CalendarEventsPerSec float64 `json:"calendar_events_per_sec"`
+	HeapEventsPerSec     float64 `json:"heap_events_per_sec"`
+	EventSpeedup         float64 `json:"event_speedup"`
+}
+
+// ScaleBenchResult is the sweep record committed as BENCH_scale.json.
+type ScaleBenchResult struct {
+	CPUs       int          `json:"cpus"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []ScalePoint `json:"points"`
+}
+
+// Check enforces the scaling contract: the indexed ranker must at least
+// match the full scan from 1k servers up, and beat it 10× at 10k; the
+// calendar queue must at least match the heap at every point.
+func (r *ScaleBenchResult) Check() error {
+	for _, p := range r.Points {
+		if p.Servers >= 10000 && p.SchedSpeedup < 10 {
+			return fmt.Errorf("scalebench: sched speedup %.2fx at %d servers, need >= 10x",
+				p.SchedSpeedup, p.Servers)
+		}
+		if p.Servers >= 1000 && p.SchedSpeedup < 1 {
+			return fmt.Errorf("scalebench: sched speedup %.2fx at %d servers, need >= 1x",
+				p.SchedSpeedup, p.Servers)
+		}
+		if p.Servers >= 1000 && p.EventSpeedup < 0.8 {
+			return fmt.Errorf("scalebench: event speedup %.2fx at %d servers, need >= 0.8x",
+				p.EventSpeedup, p.Servers)
+		}
+	}
+	return nil
+}
+
+// scaleCluster builds and packs one sweep cluster: ~97% of servers are
+// filled completely (excluded from the index), a thin slice keeps one free
+// core or carries evictable best-effort fillers (populating the occupiable
+// buckets), and the rest stay pristine spares.
+func scaleCluster(servers int) (*cluster.Cluster, error) {
+	c, err := cluster.NewUniform(cluster.LocalPlatforms(), servers)
+	if err != nil {
+		return nil, err
+	}
+	for i, srv := range c.Servers {
+		switch {
+		case i%33 == 0: // pristine spare (~3%)
+			continue
+		case i%2000 == 50: // fully-packed but evictable
+			_, err = srv.Place(fmt.Sprintf("be-%d", i),
+				cluster.Alloc{Cores: srv.Platform.Cores, MemoryGB: srv.Platform.MemoryGB},
+				cluster.ResVec{}, true)
+		case i%2000 == 51: // one core left over
+			if srv.Platform.Cores < 2 {
+				continue
+			}
+			_, err = srv.Place(fmt.Sprintf("part-%d", i),
+				cluster.Alloc{Cores: srv.Platform.Cores - 1, MemoryGB: srv.Platform.MemoryGB / 2},
+				cluster.ResVec{}, false)
+		default:
+			// Full, hosting several colocated workloads (the packed steady
+			// state a consolidating cluster converges to): the index never
+			// visits these, the full scan walks every resident.
+			k := 4
+			if srv.Platform.Cores < k {
+				k = srv.Platform.Cores
+			}
+			cores, mem := srv.Platform.Cores/k, srv.Platform.MemoryGB/float64(k)
+			for j := 0; j < k && err == nil; j++ {
+				a := cluster.Alloc{Cores: cores, MemoryGB: mem}
+				if j == k-1 { // remainder goes to the last resident
+					a.Cores = srv.FreeCores()
+					a.MemoryGB = srv.FreeMemGB()
+				}
+				_, err = srv.Place(fmt.Sprintf("fill-%d-%d", i, j), a, cluster.ResVec{}, false)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// scaleRequests classifies a small mixed set of workloads to cycle through
+// during the timed loops (classification cost stays out of the measurement).
+func scaleRequests(platforms []cluster.Platform, seed int64) []*sched.Request {
+	u := workload.NewUniverse(platforms, 21, 3)
+	copts := classify.DefaultOptions()
+	copts.MaxNodes = 32
+	eng := classify.NewEngine(platforms, copts, sim.NewRNG(seed))
+	est := map[string]*classify.Estimates{}
+	types := []workload.Type{workload.Hadoop, workload.Memcached, workload.SingleNode, workload.Spark}
+	var reqs []*sched.Request
+	for i, tp := range types {
+		w := u.New(workload.Spec{Type: tp, Family: -1, MaxNodes: 4})
+		es := eng.Classify(w, classify.NewGroundTruthProber(w, platforms, sim.NewRNG(seed+int64(i))))
+		est[w.ID] = es
+		reqs = append(reqs, &sched.Request{
+			W: w, Est: es, NeedPerf: 2 + float64(i), MaxNodes: 2,
+			EstOf: func(id string) *classify.Estimates { return est[id] },
+		})
+	}
+	return reqs
+}
+
+// timeSchedules runs Schedule calls (cycling through reqs) until the box or
+// the iteration cap is hit and returns the rate. Schedule does not mutate
+// the cluster, so both schedulers measure against identical state.
+func timeSchedules(s *sched.Scheduler, reqs []*sched.Request, maxIters int, box float64) float64 {
+	start := wallClock()
+	iters := 0
+	for iters < maxIters {
+		_, _ = s.Schedule(reqs[iters%len(reqs)])
+		iters++
+		if iters%16 == 0 && wallClock().Sub(start).Seconds() > box {
+			break
+		}
+	}
+	elapsed := wallClock().Sub(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(iters) / elapsed
+}
+
+// timeEvents fires a self-rescheduling event population (the simulator's
+// steady-state shape) through one engine kind and returns events/sec.
+func timeEvents(kind sim.QueueKind, total int, seed int64, box float64) float64 {
+	e := sim.NewEngineWithQueue(kind)
+	rng := sim.NewRNG(seed)
+	remaining := total
+	var spawn func()
+	spawn = func() {
+		if remaining > 0 {
+			remaining--
+			e.After(rng.Exponential(5), spawn)
+		}
+	}
+	// The pending population scales with the point (a cluster's tick and
+	// monitoring events grow with its size); the calendar's O(1) advantage
+	// over the heap's O(log n) only shows at depth.
+	seeds := total / 10
+	if seeds < 256 {
+		seeds = 256
+	}
+	if seeds > total {
+		seeds = total
+	}
+	start := wallClock()
+	for i := 0; i < seeds; i++ {
+		spawn()
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+		if fired%4096 == 0 && wallClock().Sub(start).Seconds() > box {
+			break
+		}
+	}
+	elapsed := wallClock().Sub(start).Seconds()
+	if elapsed <= 0 || fired == 0 {
+		return 0
+	}
+	return float64(fired) / elapsed
+}
+
+// ScaleBench runs the sweep.
+func ScaleBench(cfg ScaleBenchConfig) (*ScaleBenchResult, error) {
+	if cfg.MaxSecsPerMeasure <= 0 {
+		cfg.MaxSecsPerMeasure = 1.0
+	}
+	res := &ScaleBenchResult{CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	reqs := scaleRequests(cluster.LocalPlatforms(), cfg.Seed)
+	for _, pc := range cfg.Points {
+		c, err := scaleCluster(pc.Servers)
+		if err != nil {
+			return nil, err
+		}
+		indexed := sched.New(c, sched.DefaultOptions())
+		oOpts := sched.DefaultOptions()
+		oOpts.FullScan = true
+		oracle := sched.New(c, oOpts)
+
+		// Warm both schedulers' scratch buffers out of the measurement.
+		for _, r := range reqs {
+			_, _ = indexed.Schedule(r)
+			_, _ = oracle.Schedule(r)
+		}
+		p := ScalePoint{Servers: pc.Servers, Workloads: pc.Workloads}
+		p.IndexedSchedPerSec = timeSchedules(indexed, reqs, pc.Workloads, cfg.MaxSecsPerMeasure)
+		p.FullScanSchedPerSec = timeSchedules(oracle, reqs, pc.Workloads, cfg.MaxSecsPerMeasure)
+		if p.FullScanSchedPerSec > 0 {
+			p.SchedSpeedup = p.IndexedSchedPerSec / p.FullScanSchedPerSec
+		}
+		p.CalendarEventsPerSec = timeEvents(sim.QueueCalendar, pc.Workloads, cfg.Seed, cfg.MaxSecsPerMeasure)
+		p.HeapEventsPerSec = timeEvents(sim.QueueHeap, pc.Workloads, cfg.Seed, cfg.MaxSecsPerMeasure)
+		if p.HeapEventsPerSec > 0 {
+			p.EventSpeedup = p.CalendarEventsPerSec / p.HeapEventsPerSec
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Print renders the sweep table.
+func (r *ScaleBenchResult) Print(w io.Writer) {
+	fprintf(w, "== Scale benchmark (%d CPUs) ==\n", r.CPUs)
+	fprintf(w, "%8s %9s %14s %14s %8s %14s %14s %8s\n",
+		"servers", "wl", "sched idx/s", "sched scan/s", "speedup", "cal ev/s", "heap ev/s", "speedup")
+	for _, p := range r.Points {
+		fprintf(w, "%8d %9d %14.0f %14.0f %7.1fx %14.0f %14.0f %7.2fx\n",
+			p.Servers, p.Workloads, p.IndexedSchedPerSec, p.FullScanSchedPerSec,
+			p.SchedSpeedup, p.CalendarEventsPerSec, p.HeapEventsPerSec, p.EventSpeedup)
+	}
+}
+
+// WriteJSON writes the result to path.
+func (r *ScaleBenchResult) WriteJSON(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

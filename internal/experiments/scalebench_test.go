@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestScaleBench is the scaling smoke gate: the quick sweep (100 and 1k
+// servers) must show the indexed scheduler at least matching the full-scan
+// baseline at 1k, and the calendar queue within tolerance of the heap.
+func TestScaleBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	cfg := QuickScaleBenchConfig()
+	res, err := ScaleBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		t.Logf("%6d servers: sched %.0f/s vs %.0f/s (%.1fx), events %.0f/s vs %.0f/s (%.2fx)",
+			p.Servers, p.IndexedSchedPerSec, p.FullScanSchedPerSec, p.SchedSpeedup,
+			p.CalendarEventsPerSec, p.HeapEventsPerSec, p.EventSpeedup)
+	}
+	if err := res.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScaleBaselineFile keeps the committed BENCH_scale.json honest: it must
+// parse, cover the default sweep points, and itself satisfy the scaling
+// contract (>= 10x schedules/sec over full-scan at 10k servers).
+func TestScaleBaselineFile(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_scale.json")
+	if err != nil {
+		t.Fatalf("BENCH_scale.json missing (regenerate with quasar-bench scalebench): %v", err)
+	}
+	var base ScaleBenchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultScaleBenchConfig()
+	if len(base.Points) != len(want.Points) {
+		t.Fatalf("baseline has %d points, default sweep has %d — regenerate", len(base.Points), len(want.Points))
+	}
+	has10k := false
+	for i, p := range base.Points {
+		if p.Servers != want.Points[i].Servers || p.Workloads != want.Points[i].Workloads {
+			t.Errorf("baseline point %d is (%d, %d), default sweep says (%d, %d) — regenerate",
+				i, p.Servers, p.Workloads, want.Points[i].Servers, want.Points[i].Workloads)
+		}
+		if p.Servers >= 10000 {
+			has10k = true
+		}
+	}
+	if !has10k {
+		t.Error("baseline misses the 10k-server point the scaling contract is stated over")
+	}
+	if err := base.Check(); err != nil {
+		t.Errorf("committed baseline violates the scaling contract: %v", err)
+	}
+}

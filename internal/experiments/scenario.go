@@ -106,7 +106,11 @@ type Scenario struct {
 
 // ScenarioConfig configures scenario assembly.
 type ScenarioConfig struct {
-	Cluster     ClusterKind
+	Cluster ClusterKind
+	// Servers, when positive, overrides Cluster with a uniform spread of the
+	// local platforms at this size — the vehicle for at-scale runs (the
+	// testbed presets stop at 200 servers).
+	Servers     int
 	Manager     ManagerKind
 	Seed        int64
 	TickSecs    float64
@@ -120,7 +124,13 @@ type ScenarioConfig struct {
 
 // NewScenario builds the world.
 func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
-	cl, err := buildCluster(cfg.Cluster)
+	var cl *cluster.Cluster
+	var err error
+	if cfg.Servers > 0 {
+		cl, err = cluster.NewUniform(cluster.LocalPlatforms(), cfg.Servers)
+	} else {
+		cl, err = buildCluster(cfg.Cluster)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,259 @@
+// Package oracletest differentially tests the scheduler's indexed ranking
+// fast path against the original full-scan ranker, which is kept in-tree as
+// the oracle behind Options.FullScan. Two schedulers share one cluster; a
+// randomized sequence of placements, evictions, drains, crashes, restarts,
+// detector flaps, and probe/degradation churn mutates the cluster, and after
+// every step both schedulers rank and schedule the same request. The
+// orderings and decisions must match exactly — including every float bit —
+// because the simulator's byte-identical traces depend on it.
+package oracletest
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"quasar/internal/classify"
+	"quasar/internal/cluster"
+	"quasar/internal/sched"
+	"quasar/internal/sim"
+	"quasar/internal/workload"
+)
+
+// fixture owns one shared cluster and the two schedulers under comparison.
+type fixture struct {
+	cl      *cluster.Cluster
+	u       *workload.Universe
+	eng     *classify.Engine
+	est     map[string]*classify.Estimates
+	indexed *sched.Scheduler
+	oracle  *sched.Scheduler
+
+	placed []string
+	where  map[string][]*cluster.Server
+	nextWL int
+}
+
+func newFixture(t testing.TB, opts sched.Options) *fixture {
+	t.Helper()
+	platforms := cluster.LocalPlatforms()
+	cl, err := cluster.New(platforms, []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.AssignZones(4)
+	u := workload.NewUniverse(platforms, 21, 3)
+	copts := classify.DefaultOptions()
+	copts.MaxNodes = 32
+	eng := classify.NewEngine(platforms, copts, sim.NewRNG(5))
+	oOpts := opts
+	oOpts.FullScan = true
+	return &fixture{
+		cl: cl, u: u, eng: eng,
+		est:     map[string]*classify.Estimates{},
+		indexed: sched.New(cl, opts),
+		oracle:  sched.New(cl, oOpts),
+		where:   map[string][]*cluster.Server{},
+	}
+}
+
+func (f *fixture) newRequest(t testing.TB, rng *sim.RNG) *sched.Request {
+	t.Helper()
+	types := []workload.Type{workload.Hadoop, workload.Memcached, workload.SingleNode, workload.Spark}
+	w := f.u.New(workload.Spec{Type: types[rng.Intn(len(types))], Family: -1, MaxNodes: 4})
+	if rng.Bool(0.3) {
+		w.BestEffort = true
+	}
+	es := f.eng.Classify(w, classify.NewGroundTruthProber(w, f.eng.Platforms, rng))
+	f.est[w.ID] = es
+	return &sched.Request{
+		W: w, Est: es,
+		NeedPerf: rng.Uniform(0.5, 40),
+		MaxNodes: 1 + rng.Intn(4),
+		EstOf:    func(id string) *classify.Estimates { return f.est[id] },
+	}
+}
+
+// compare ranks and schedules the request on both schedulers and fails on
+// the first divergence.
+func (f *fixture) compare(t testing.TB, step int, req *sched.Request) (*sched.Assignment, error) {
+	t.Helper()
+	ri := f.indexed.RankCandidates(req)
+	ro := f.oracle.RankCandidates(req)
+	if !reflect.DeepEqual(ri, ro) {
+		n := len(ri)
+		if len(ro) < n {
+			n = len(ro)
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(ri[i], ro[i]) {
+				t.Fatalf("step %d: rank diverges at %d:\n  indexed: %+v\n  oracle:  %+v", step, i, ri[i], ro[i])
+			}
+		}
+		t.Fatalf("step %d: rank lengths diverge: indexed %d vs oracle %d", step, len(ri), len(ro))
+	}
+	ai, erri := f.indexed.Schedule(req)
+	ao, erro := f.oracle.Schedule(req)
+	if (erri == nil) != (erro == nil) {
+		t.Fatalf("step %d: schedule errors diverge: indexed %v vs oracle %v", step, erri, erro)
+	}
+	if erri != nil {
+		return nil, erri
+	}
+	if got, want := describe(ai), describe(ao); got != want {
+		t.Fatalf("step %d: assignments diverge:\n  indexed: %s\n  oracle:  %s", step, got, want)
+	}
+	return ai, nil
+}
+
+// describe serializes every decision-relevant field, floats at full bit
+// precision.
+func describe(a *sched.Assignment) string {
+	s := fmt.Sprintf("perf=%x cost=%x ev=%v nodes=[", math.Float64bits(a.EstPerf), math.Float64bits(a.CostPerHour), a.Evictions)
+	for _, n := range a.Nodes {
+		s += fmt.Sprintf("(%d %d %x)", n.Server.ID, n.Alloc.Cores, math.Float64bits(n.Alloc.MemoryGB))
+	}
+	return s + "]"
+}
+
+// apply realizes an assignment on the shared cluster (evictions first).
+func (f *fixture) apply(t testing.TB, req *sched.Request, asn *sched.Assignment) {
+	t.Helper()
+	for _, ev := range asn.Evictions {
+		f.removeEverywhere(t, ev)
+	}
+	for _, n := range asn.Nodes {
+		caused := req.W.CausedPressure(n.Server.Platform, n.Alloc)
+		if _, err := n.Server.Place(req.W.ID, n.Alloc, caused, req.W.BestEffort); err != nil {
+			t.Fatalf("apply %s: %v", req.W.ID, err)
+		}
+		f.where[req.W.ID] = append(f.where[req.W.ID], n.Server)
+	}
+	if len(asn.Nodes) > 0 {
+		f.placed = append(f.placed, req.W.ID)
+	}
+}
+
+func (f *fixture) removeEverywhere(t testing.TB, id string) {
+	t.Helper()
+	for _, srv := range f.where[id] {
+		if srv.Placement(id) != nil {
+			if err := srv.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	delete(f.where, id)
+	for i, p := range f.placed {
+		if p == id {
+			f.placed[i] = f.placed[len(f.placed)-1]
+			f.placed = f.placed[:len(f.placed)-1]
+			break
+		}
+	}
+}
+
+// churn applies one random cluster mutation.
+func (f *fixture) churn(t testing.TB, rng *sim.RNG) {
+	t.Helper()
+	srv := f.cl.Servers[rng.Intn(len(f.cl.Servers))]
+	switch k := rng.Intn(100); {
+	case k < 30: // evict a random placed workload
+		if len(f.placed) > 0 {
+			f.removeEverywhere(t, f.placed[rng.Intn(len(f.placed))])
+		}
+	case k < 45: // drain one server completely
+		for _, pl := range append([]*cluster.Placement(nil), srv.Placements()...) {
+			if err := srv.Remove(pl.WorkloadID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	case k < 60: // crash / restart
+		if srv.Up() {
+			srv.SetDown()
+		} else {
+			srv.SetUp()
+		}
+	case k < 70: // partition flap
+		srv.SetPartitioned(!srv.Partitioned())
+	case k < 80: // detector flap
+		srv.SetDet(cluster.DetectorState(rng.Intn(3)))
+	case k < 90: // probe churn
+		var v cluster.ResVec
+		if rng.Bool(0.5) {
+			v[rng.Intn(int(cluster.NumResources))] = rng.Uniform(0, 0.7)
+		}
+		srv.SetProbe(v)
+	default: // degradation churn
+		var v cluster.ResVec
+		if rng.Bool(0.5) {
+			v[rng.Intn(int(cluster.NumResources))] = rng.Uniform(0, 0.7)
+		}
+		srv.SetDegrade(v)
+	}
+}
+
+// run drives one randomized mutate-and-compare sequence.
+func run(t *testing.T, opts sched.Options, rng *sim.RNG, steps int) {
+	f := newFixture(t, opts)
+	for step := 0; step < steps; step++ {
+		f.churn(t, rng)
+		req := f.newRequest(t, rng)
+		asn, err := f.compare(t, step, req)
+		if err == nil && rng.Bool(0.7) {
+			f.apply(t, req, asn)
+		}
+	}
+	if err := f.cl.Idx().Validate(); err != nil {
+		t.Fatalf("final index state: %v", err)
+	}
+}
+
+// TestIndexedRankMatchesFullScan is the main differential suite: randomized
+// place/evict/drain/crash/restart sequences with a full rank-and-schedule
+// comparison after every mutation, across independent substreams.
+func TestIndexedRankMatchesFullScan(t *testing.T) {
+	streams, steps := 6, 60
+	if testing.Short() {
+		streams, steps = 2, 25
+	}
+	subs := sim.NewRNG(20260808).Substreams("sched-oracle", streams)
+	for i, rng := range subs {
+		rng := rng
+		t.Run(fmt.Sprintf("substream-%d", i), func(t *testing.T) {
+			run(t, sched.DefaultOptions(), rng, steps)
+		})
+	}
+}
+
+// TestIndexedRankMatchesFullScanAblations repeats the differential run under
+// each ablation knob, which exercises every quality-computation branch of
+// the shared appraisal.
+func TestIndexedRankMatchesFullScanAblations(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*sched.Options)
+	}{
+		{"ignore-interference", func(o *sched.Options) { o.IgnoreInterference = true }},
+		{"ignore-heterogeneity", func(o *sched.Options) { o.IgnoreHeterogeneity = true }},
+		{"ignore-both", func(o *sched.Options) {
+			o.IgnoreInterference = true
+			o.IgnoreHeterogeneity = true
+		}},
+		{"spread-zones", func(o *sched.Options) { o.SpreadZones = true }},
+		{"scale-out-first", func(o *sched.Options) { o.ScaleOutFirst = true }},
+	}
+	steps := 30
+	if testing.Short() {
+		steps = 12
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := sched.DefaultOptions()
+			tc.mod(&opts)
+			run(t, opts, sim.NewRNG(int64(1000+ci)), steps)
+		})
+	}
+}

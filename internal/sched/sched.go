@@ -89,6 +89,12 @@ type Options struct {
 	// knob).
 	IgnoreHeterogeneity bool
 
+	// FullScan forces ranking to sweep every server instead of consulting
+	// the cluster's free-resource index. The two paths produce identical
+	// candidate orderings (the oracletest package holds them to it); the
+	// full scan is kept as the oracle and as an escape hatch.
+	FullScan bool
+
 	// SpreadZones makes multi-node assignments prefer servers in fault
 	// zones the workload does not occupy yet (§4.4 fault-zone extension):
 	// among near-equal candidates, a new zone wins.
@@ -109,10 +115,12 @@ type Scheduler struct {
 	// carrying the full candidate ranking and the chosen assignment.
 	Tracer *obs.Tracer
 
-	// candBuf and zoneScratch are reused across Schedule calls so ranking
-	// does not reallocate per decision. The scheduler is driven from the
-	// single-goroutine simulation loop, so unsynchronized reuse is safe.
+	// candBuf, srvScratch, and zoneScratch are reused across Schedule calls
+	// so ranking does not reallocate per decision. The scheduler is driven
+	// from the single-goroutine simulation loop, so unsynchronized reuse is
+	// safe.
 	candBuf     []candidate
+	srvScratch  []*cluster.Server
 	sorter      candSorter
 	zoneScratch map[int]bool
 }
@@ -185,11 +193,63 @@ func (cs *candSorter) Less(i, j int) bool {
 	return cands[i].server.ID < cands[j].server.ID
 }
 
-// rank orders servers by decreasing quality for this request. The returned
-// slice aliases the scheduler's scratch buffer and is valid until the next
-// Schedule call.
+// appraise builds the ranked candidate for one server given its
+// free-after-eviction capacity. It is the single quality computation shared
+// by the full-scan and indexed ranking paths: both feed it identical inputs,
+// so the resulting candidates are bit-identical.
+func (s *Scheduler) appraise(req *Request, srv *cluster.Server, pidx, cores int, mem float64, evictable []*cluster.Placement) candidate {
+	var quality float64
+	switch {
+	case s.Opts.IgnoreHeterogeneity && s.Opts.IgnoreInterference:
+		quality = float64(cores)
+	case s.Opts.IgnoreHeterogeneity:
+		pen := 1 - srv.PressureOn(req.W.ID).Max()
+		quality = float64(cores) * pen
+	default:
+		pressure := srv.PressureOn(req.W.ID)
+		if s.Opts.IgnoreInterference {
+			pressure = cluster.ResVec{}
+		}
+		whole := cluster.Alloc{Cores: srv.Platform.Cores, MemoryGB: srv.Platform.MemoryGB}
+		quality = req.Est.NodePerf(pidx, whole, pressure)
+	}
+	compat := s.compatible(req, srv)
+	if !compat {
+		// Penalize rather than exclude: a colocation that would hurt
+		// residents is a last resort.
+		quality *= 0.05
+	}
+	return candidate{
+		server: srv, pidx: pidx, quality: quality,
+		freeCores: cores, freeMem: mem,
+		pressure: srv.PressureOn(req.W.ID).Max(), compat: compat,
+		evictable: evictable,
+	}
+}
+
+// rank orders servers by decreasing quality for this request, through the
+// index fast path unless the FullScan option (or an index-less cluster)
+// forces the sweep. Both paths produce the same ordering: the candidate set
+// is identical by construction and the comparator is a total order (quality,
+// then whole-node capacity, then server ID), so sorting erases any
+// difference in traversal order. The returned slice aliases the scheduler's
+// scratch buffer and is valid until the next Schedule call.
 func (s *Scheduler) rank(req *Request) []candidate {
-	cands := s.candBuf[:0]
+	var cands []candidate
+	if s.Opts.FullScan || s.Cluster.Idx() == nil {
+		cands = s.rankScan(req, s.candBuf[:0])
+	} else {
+		cands = s.rankIndexed(req, s.candBuf[:0])
+	}
+	s.candBuf = cands
+	s.sorter.cands = cands
+	sort.Sort(&s.sorter)
+	return cands
+}
+
+// rankScan is the original full sweep over every server, kept as the oracle
+// for the indexed path and as the fallback for index-less clusters.
+func (s *Scheduler) rankScan(req *Request, cands []candidate) []candidate {
 	for _, srv := range s.Cluster.Servers {
 		if !srv.Schedulable() {
 			// Never place on a down, partitioned, or detector-suspect
@@ -202,39 +262,78 @@ func (s *Scheduler) rank(req *Request) []candidate {
 			continue
 		}
 		pidx := s.Cluster.PlatformIndex(srv.Platform.Name)
-		var quality float64
-		switch {
-		case s.Opts.IgnoreHeterogeneity && s.Opts.IgnoreInterference:
-			quality = float64(cores)
-		case s.Opts.IgnoreHeterogeneity:
-			pen := 1 - srv.PressureOn(req.W.ID).Max()
-			quality = float64(cores) * pen
-		default:
-			pressure := srv.PressureOn(req.W.ID)
-			if s.Opts.IgnoreInterference {
-				pressure = cluster.ResVec{}
-			}
-			whole := cluster.Alloc{Cores: srv.Platform.Cores, MemoryGB: srv.Platform.MemoryGB}
-			quality = req.Est.NodePerf(pidx, whole, pressure)
-		}
-		compat := s.compatible(req, srv)
-		if !compat {
-			// Penalize rather than exclude: a colocation that would hurt
-			// residents is a last resort.
-			quality *= 0.05
-		}
 		//lint:allow(hotalloc) append into receiver-owned scratch: grows to cluster size once, then steady-state reuses capacity
-		cands = append(cands, candidate{
-			server: srv, pidx: pidx, quality: quality,
-			freeCores: cores, freeMem: mem,
-			pressure: srv.PressureOn(req.W.ID).Max(), compat: compat,
-			evictable: evictable,
-		})
+		cands = append(cands, s.appraise(req, srv, pidx, cores, mem, evictable))
 	}
-	s.candBuf = cands
-	s.sorter.cands = cands
-	sort.Sort(&s.sorter)
 	return cands
+}
+
+// rankIndexed consults the cluster's free-resource index instead of sweeping:
+// full and unschedulable servers are never visited, and pristine servers —
+// whose ranking inputs are bit-identical within a platform — are appraised
+// once per platform and stamped. The per-candidate values match rankScan's
+// exactly: capacity comes from the index cache (maintained with the same
+// accumulation order as freeAfterEviction), and pristine servers have
+// exactly-zero pressure by construction, so the shared appraisal of a
+// representative equals the appraisal of each member.
+func (s *Scheduler) rankIndexed(req *Request, cands []candidate) []candidate {
+	ix := s.Cluster.Idx()
+	for pidx := range s.Cluster.Platforms {
+		prs := ix.AppendPristine(pidx, s.srvScratch[:0])
+		if len(prs) > 0 {
+			srv0 := prs[0]
+			cores, mem, _ := srv0.FreeAfterEviction()
+			proto := s.appraise(req, srv0, pidx, cores, mem, nil)
+			for _, srv := range prs {
+				c := proto
+				c.server = srv
+				//lint:allow(hotalloc) append into receiver-owned scratch: grows to cluster size once, then steady-state reuses capacity
+				cands = append(cands, c)
+			}
+		}
+		occ := ix.AppendOccupiable(pidx, prs[:0])
+		for _, srv := range occ {
+			cores, mem, evictable := srv.FreeAfterEviction()
+			//lint:allow(hotalloc) append into receiver-owned scratch: grows to cluster size once, then steady-state reuses capacity
+			cands = append(cands, s.appraise(req, srv, pidx, cores, mem, evictable))
+		}
+		s.srvScratch = occ[:0]
+	}
+	return cands
+}
+
+// RankedCandidate is an externally visible snapshot of one ranked server,
+// exposed so differential tests can compare the indexed and full-scan
+// ranking paths field by field.
+type RankedCandidate struct {
+	ServerID   int
+	Platform   string
+	Quality    float64
+	FreeCores  int
+	FreeMemGB  float64
+	Pressure   float64
+	Compatible bool
+	Evictable  []string
+}
+
+// RankCandidates ranks the cluster for the request and returns a snapshot
+// of the ordering. It does not mutate the cluster. Intended for tests and
+// diagnostics; Schedule uses the internal ranking directly.
+func (s *Scheduler) RankCandidates(req *Request) []RankedCandidate {
+	cands := s.rank(req)
+	out := make([]RankedCandidate, len(cands))
+	for i, c := range cands {
+		rc := RankedCandidate{
+			ServerID: c.server.ID, Platform: c.server.Platform.Name,
+			Quality: c.quality, FreeCores: c.freeCores, FreeMemGB: c.freeMem,
+			Pressure: c.pressure, Compatible: c.compat,
+		}
+		for _, ev := range c.evictable {
+			rc.Evictable = append(rc.Evictable, ev.WorkloadID)
+		}
+		out[i] = rc
+	}
+	return out
 }
 
 // compatible reports whether placing the request's workload on the server

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// queueKinds is the implementation matrix every queue-contract test runs
+// over: the calendar queue (default) and the binary heap (oracle).
+var queueKinds = []struct {
+	name string
+	kind QueueKind
+}{
+	{"calendar", QueueCalendar},
+	{"heap", QueueHeap},
+}
+
+// TestCalendarDrainSorted pushes a scrambled time series through the
+// calendar wheel — enough events to force several grow resizes, then drains
+// through shrink resizes — and requires pops in exact (at, seq) order.
+func TestCalendarDrainSorted(t *testing.T) {
+	q := newCalendarQueue()
+	rng := NewRNG(41)
+	const n = 5000
+	evs := make([]*event, n)
+	for i := 0; i < n; i++ {
+		at := rng.Uniform(0, 1000)
+		if i%17 == 0 {
+			at = float64(i % 97) // deliberate exact ties
+		}
+		evs[i] = &event{at: at, seq: uint64(i)}
+		q.push(evs[i])
+	}
+	want := append([]*event(nil), evs...)
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i, w := range want {
+		got := q.pop()
+		if got == nil {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		if got != w {
+			t.Fatalf("pop %d: got (at=%v seq=%d), want (at=%v seq=%d)",
+				i, got.at, got.seq, w.at, w.seq)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestCalendarBucketBoundary schedules events exactly on bucket-width
+// multiples, where floor(at/width) and the incremental window top are most
+// likely to disagree; the direct-search fallback must keep order exact.
+func TestCalendarBucketBoundary(t *testing.T) {
+	q := newCalendarQueue()
+	for i := 0; i < 64; i++ {
+		q.push(&event{at: float64(i) * q.width, seq: uint64(i)})
+	}
+	last := math.Inf(-1)
+	for i := 0; i < 64; i++ {
+		ev := q.pop()
+		if ev == nil {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if ev.at < last {
+			t.Fatalf("pop %d: time went backwards (%v after %v)", i, ev.at, last)
+		}
+		last = ev.at
+	}
+}
+
+// TestCalendarFarFuture parks one event far beyond the wheel's rotation and
+// one near event; the near one must fire first and the far one must still be
+// reachable (the direct-search fallback, and the saturating epoch guard for
+// quotients beyond float precision).
+func TestCalendarFarFuture(t *testing.T) {
+	q := newCalendarQueue()
+	far := &event{at: 1e18, seq: 1}
+	near := &event{at: 1, seq: 2}
+	q.push(far)
+	q.push(near)
+	if got := q.pop(); got != near {
+		t.Fatalf("near event should pop first, got at=%v", got.at)
+	}
+	if got := q.pop(); got != far {
+		t.Fatal("far event lost")
+	}
+	if q.pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestEngineQueueKindsEquivalent runs one mixed workload (periodic tickers,
+// one-shots, cancellations) on both queue kinds and requires identical fire
+// logs — the in-package smoke version of the oracletest differential suite.
+func TestEngineQueueKindsEquivalent(t *testing.T) {
+	run := func(kind QueueKind) []float64 {
+		e := NewEngineWithQueue(kind)
+		var log []float64
+		stop := e.Ticker(0.5, 1, func(now float64) { log = append(log, now) })
+		var cancelled EventID
+		e.After(2, func() {
+			log = append(log, e.Now())
+			cancelled = e.After(100, func() { log = append(log, -1) })
+		})
+		e.After(3, func() { e.Cancel(cancelled) })
+		e.Schedule(7, func() { stop() })
+		e.Run(10)
+		return log
+	}
+	want := run(QueueHeap)
+	got := run(QueueCalendar)
+	if len(want) != len(got) {
+		t.Fatalf("fire counts differ: heap %d vs calendar %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("fire %d: heap %v vs calendar %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestCancelAfterFire is the regression test for the recycled-record hazard:
+// cancelling an event that already fired — after its record has been
+// recycled into a NEW event — must be a no-op and must not destroy the new
+// event, on both queue implementations.
+func TestCancelAfterFire(t *testing.T) {
+	for _, qk := range queueKinds {
+		t.Run(qk.name, func(t *testing.T) {
+			e := NewEngineWithQueue(qk.kind)
+			fired := map[string]int{}
+			stale := e.After(1, func() { fired["a"]++ })
+			if !e.Step() {
+				t.Fatal("step failed")
+			}
+			// The freelist now holds a's record; this Schedule reuses it.
+			e.After(1, func() { fired["b"]++ })
+			if e.Cancel(stale) {
+				t.Error("cancel of an already-fired event reported success")
+			}
+			if got := e.Pending(); got != 1 {
+				t.Fatalf("stale cancel corrupted the queue: %d pending, want 1", got)
+			}
+			e.RunAll()
+			if fired["a"] != 1 || fired["b"] != 1 {
+				t.Fatalf("fired = %v, want a:1 b:1", fired)
+			}
+		})
+	}
+}
+
+// TestDoubleCancel cancels the same event twice: the first must succeed, the
+// second must be a no-op even after the record has been reissued to a new
+// event, on both queue implementations.
+func TestDoubleCancel(t *testing.T) {
+	for _, qk := range queueKinds {
+		t.Run(qk.name, func(t *testing.T) {
+			e := NewEngineWithQueue(qk.kind)
+			fired := 0
+			id := e.After(5, func() { fired++ })
+			if !e.Cancel(id) {
+				t.Fatal("first cancel should succeed")
+			}
+			if e.Cancel(id) {
+				t.Error("second cancel reported success")
+			}
+			// Reissue the recycled record, then double-cancel again: the
+			// stale id must not reach the new event through the freelist.
+			e.After(1, func() { fired += 10 })
+			if e.Cancel(id) {
+				t.Error("stale cancel after reissue reported success")
+			}
+			if got := e.Pending(); got != 1 {
+				t.Fatalf("%d pending, want 1", got)
+			}
+			e.RunAll()
+			if fired != 10 {
+				t.Fatalf("fired = %d, want 10 (survivor only)", fired)
+			}
+		})
+	}
+}
+
+// TestCancelInsideCallback cancels the currently-firing event and a sibling
+// from inside a callback: self-cancel is a no-op, sibling-cancel works, and
+// the queue stays consistent on both implementations.
+func TestCancelInsideCallback(t *testing.T) {
+	for _, qk := range queueKinds {
+		t.Run(qk.name, func(t *testing.T) {
+			e := NewEngineWithQueue(qk.kind)
+			var self, sibling EventID
+			siblingFired := false
+			self = e.After(1, func() {
+				if e.Cancel(self) {
+					t.Error("self-cancel of the firing event reported success")
+				}
+				if !e.Cancel(sibling) {
+					t.Error("sibling cancel should succeed")
+				}
+			})
+			sibling = e.After(2, func() { siblingFired = true })
+			e.RunAll()
+			if siblingFired {
+				t.Error("cancelled sibling fired")
+			}
+			if e.Pending() != 0 {
+				t.Fatalf("%d pending, want 0", e.Pending())
+			}
+		})
+	}
+}

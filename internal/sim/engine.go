@@ -1,13 +1,18 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock in seconds and an event heap. Events
-// are closures scheduled at absolute virtual times; ties are broken by
+// The engine maintains a virtual clock in seconds and a pending-event queue.
+// Events are closures scheduled at absolute virtual times; ties are broken by
 // scheduling order so runs are fully deterministic. Recurring activities
 // (progress integration, monitoring) are expressed as periodic ticks.
+//
+// Two queue implementations exist behind one contract: the default calendar
+// queue (a bucketed timing wheel with O(1) amortized schedule/pop) and the
+// original binary heap, kept as the reference oracle. Fire order — and
+// therefore every trace byte — is identical between them; the differential
+// tests in oracletest and FuzzCalendarVsHeap enforce it.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -20,49 +25,27 @@ type event struct {
 	seq   uint64
 	id    EventID
 	fn    func()
-	index int // heap index, -1 when popped or cancelled
+	index int   // queue position hint, -1 when popped or cancelled
+	epoch int64 // calendar home window (floor(at/width)); owned by calendarQueue
 }
 
-type eventHeap []*event
+// QueueKind selects the engine's pending-event queue implementation.
+type QueueKind int
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	// Exact comparison is load-bearing: events at bit-identical times
-	// must fall through to the seq tie-break for deterministic ordering.
-	if h[i].at != h[j].at { //lint:allow(floatcmp)
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+const (
+	// QueueCalendar is the default: a bucketed timing wheel with O(1)
+	// amortized schedule/pop.
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the original container/heap core, kept as the reference
+	// oracle for the differential and fuzz tests.
+	QueueHeap
+)
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
 	now     float64
-	pq      eventHeap
+	q       eventQueue
 	nextSeq uint64
 	nextID  EventID
 	live    map[EventID]*event
@@ -74,9 +57,24 @@ type Engine struct {
 	free []*event
 }
 
-// NewEngine returns an engine with the clock at zero and no pending events.
+// NewEngine returns an engine with the clock at zero and no pending events,
+// on the default calendar queue.
 func NewEngine() *Engine {
-	return &Engine{live: make(map[EventID]*event)}
+	return NewEngineWithQueue(QueueCalendar)
+}
+
+// NewEngineWithQueue returns an engine on the chosen queue implementation.
+// Results are byte-identical across kinds; QueueHeap exists as the oracle
+// for the differential tests and as an escape hatch.
+func NewEngineWithQueue(kind QueueKind) *Engine {
+	var q eventQueue
+	switch kind {
+	case QueueHeap:
+		q = &heapQueue{}
+	default:
+		q = newCalendarQueue()
+	}
+	return &Engine{q: q, live: make(map[EventID]*event)}
 }
 
 // Now returns the current virtual time in seconds.
@@ -102,15 +100,17 @@ func (e *Engine) Schedule(at float64, fn func()) EventID {
 	} else {
 		ev = &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn} //lint:allow(hotalloc) freelist refill: amortized away once the event population peaks
 	}
-	heap.Push(&e.pq, ev)
+	e.q.push(ev)
 	e.live[ev.id] = ev
 	return ev.id
 }
 
 // recycle returns a popped or cancelled event record to the freelist. The
-// fn reference is dropped so recycling never pins a closure's captures.
+// fn reference is dropped so recycling never pins a closure's captures, and
+// the id is cleared so a stale handle can never match a reused record.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.id = 0
 	e.free = append(e.free, ev)
 }
 
@@ -119,29 +119,42 @@ func (e *Engine) After(delay float64, fn func()) EventID {
 	return e.Schedule(e.now+delay, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or unknown
-// event is a no-op and returns false.
+// Cancel removes a pending event. Cancelling an already-fired, already-
+// cancelled, or unknown event is a safe no-op and returns false — a stale
+// EventID must never touch a recycled record that now backs a newer event.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.live[id]
-	if !ok || ev.index < 0 {
+	if id == 0 {
 		return false
 	}
-	heap.Remove(&e.pq, ev.index)
+	ev, ok := e.live[id]
+	if !ok || ev.id != id {
+		// Not pending: fired, cancelled, or the id predates a restart. The
+		// ev.id check is defense in depth — a live entry pointing at a
+		// record the freelist already reissued would otherwise let this
+		// cancel destroy an unrelated newer event.
+		return false
+	}
 	delete(e.live, id)
+	if !e.q.remove(ev) {
+		// The queue disagrees with the live map; recycling here could hand
+		// the same record to two future events, which is the corruption
+		// this guard exists to make impossible.
+		return false
+	}
 	e.recycle(ev)
 	return true
 }
 
 // Pending reports the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Step fires the next event, advancing the clock to its time. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	ev := e.q.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(*event)
 	delete(e.live, ev.id)
 	e.now = ev.at
 	e.fired++
@@ -158,7 +171,11 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Run fires events until the clock would pass until, or no events remain.
 // The clock finishes exactly at until.
 func (e *Engine) Run(until float64) {
-	for len(e.pq) > 0 && e.pq[0].at <= until {
+	for {
+		at, ok := e.q.peekAt()
+		if !ok || at > until {
+			break
+		}
 		e.Step()
 	}
 	if e.now < until {
@@ -167,7 +184,7 @@ func (e *Engine) Run(until float64) {
 }
 
 // RunAll fires every pending event, including ones scheduled by fired
-// events, until the heap is empty.
+// events, until the queue is empty.
 func (e *Engine) RunAll() {
 	for e.Step() {
 	}

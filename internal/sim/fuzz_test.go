@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// fuzzDrive interprets raw fuzz bytes as an operation script — schedule,
+// cancel, step, run — and replays it on one engine, returning the full
+// observable log (fire order, clock, cancel results, pending counts). The
+// decoding is total: every byte string is a valid script, so the fuzzer's
+// whole input space exercises the queue.
+func fuzzDrive(kind QueueKind, data []byte) []string {
+	e := NewEngineWithQueue(kind)
+	var log []string
+	var ids []EventID
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	for i < len(data) {
+		switch op := next() % 5; op {
+		case 0, 1: // schedule at now + dt, dt from the next two bytes
+			raw := uint16(next()) | uint16(next())<<8
+			// Quarter-second grid up to ~16k seconds, with frequent exact
+			// ties (small values repeat often in fuzzed inputs).
+			dt := float64(raw) / 4
+			label := len(ids)
+			id := e.After(dt, func() {
+				log = append(log, fmt.Sprintf("fire %d @%.9g pend=%d", label, e.Now(), e.Pending()))
+			})
+			ids = append(ids, id)
+		case 2: // cancel a (possibly fired, possibly repeated) label
+			if len(ids) > 0 {
+				label := int(next()) % len(ids)
+				ok := e.Cancel(ids[label])
+				log = append(log, fmt.Sprintf("cancel %d -> %v pend=%d", label, ok, e.Pending()))
+			}
+		case 3: // step once
+			ok := e.Step()
+			log = append(log, fmt.Sprintf("step -> %v now=%.9g", ok, e.Now()))
+		case 4: // bounded run
+			dt := float64(next()) / 2
+			e.Run(e.Now() + dt)
+			log = append(log, fmt.Sprintf("run now=%.9g pend=%d", e.Now(), e.Pending()))
+		}
+	}
+	// Drain: every surviving event's fire order is part of the comparison.
+	for e.Step() {
+	}
+	log = append(log, fmt.Sprintf("end now=%.9g fired=%d", e.Now(), e.Fired()))
+	return log
+}
+
+// FuzzCalendarVsHeap holds the calendar queue to the heap oracle under
+// arbitrary interleaved Schedule/Cancel/Step/Run scripts: identical fire
+// order, clock, cancel results, and pending counts. The seed corpus under
+// testdata/fuzz replays in normal `go test` runs (the CI regression lane);
+// `go test -fuzz=FuzzCalendarVsHeap ./internal/sim` explores further.
+func FuzzCalendarVsHeap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 4, 0, 0, 4, 0, 3, 3, 3})                         // two ties, steps
+	f.Add([]byte{0, 255, 255, 1, 1, 0, 2, 0, 4, 200, 3, 3})          // far + near + cancel + run
+	f.Add([]byte{1, 8, 0, 1, 8, 0, 1, 8, 0, 2, 1, 2, 1, 3, 2, 1, 3}) // triple tie, double cancel
+	seed := make([]byte, 96)
+	for j := range seed {
+		seed[j] = byte(j * 7)
+	}
+	f.Add(seed)
+	wide := make([]byte, 64)
+	binary.LittleEndian.PutUint16(wide[1:], 60000) // far-future rung next to dense near ones
+	f.Add(wide)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cal := fuzzDrive(QueueCalendar, data)
+		heap := fuzzDrive(QueueHeap, data)
+		if len(cal) != len(heap) {
+			t.Fatalf("log lengths differ: calendar %d vs heap %d", len(cal), len(heap))
+		}
+		for j := range cal {
+			if cal[j] != heap[j] {
+				t.Fatalf("entry %d:\n  calendar: %s\n  heap:     %s", j, cal[j], heap[j])
+			}
+		}
+	})
+}

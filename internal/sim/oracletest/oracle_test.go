@@ -1,0 +1,155 @@
+// Package oracletest differentially tests the sim engine's calendar-queue
+// event core against the original binary heap, which is kept in-tree as the
+// oracle. Both engines replay identical randomized Schedule/After/Cancel/
+// Step/Run sequences; the fire logs — event label, fire time, engine clock,
+// pending count — must match exactly, and so must every Cancel result. The
+// sequences are seeded from sim.RNG substreams, so a failure replays
+// deterministically from the printed substream index.
+package oracletest
+
+import (
+	"fmt"
+	"testing"
+
+	"quasar/internal/sim"
+)
+
+// opTrace drives one engine through a scripted operation sequence and
+// records everything observable: fire order, clock readings, cancel
+// outcomes, pending counts.
+type opTrace struct {
+	eng *sim.Engine
+	log []string
+	ids []sim.EventID // ids in scheduling order; index = label
+}
+
+func newOpTrace(kind sim.QueueKind) *opTrace {
+	return &opTrace{eng: sim.NewEngineWithQueue(kind)}
+}
+
+func (tr *opTrace) schedule(dt float64) {
+	label := len(tr.ids)
+	id := tr.eng.After(dt, func() {
+		tr.log = append(tr.log, fmt.Sprintf("fire %d @%.9g pend=%d", label, tr.eng.Now(), tr.eng.Pending()))
+	})
+	tr.ids = append(tr.ids, id)
+}
+
+func (tr *opTrace) cancel(label int) {
+	if label >= len(tr.ids) {
+		return
+	}
+	ok := tr.eng.Cancel(tr.ids[label])
+	tr.log = append(tr.log, fmt.Sprintf("cancel %d -> %v pend=%d", label, ok, tr.eng.Pending()))
+}
+
+func (tr *opTrace) step() {
+	ok := tr.eng.Step()
+	tr.log = append(tr.log, fmt.Sprintf("step -> %v now=%.9g", ok, tr.eng.Now()))
+}
+
+func (tr *opTrace) run(dt float64) {
+	tr.eng.Run(tr.eng.Now() + dt)
+	tr.log = append(tr.log, fmt.Sprintf("run now=%.9g pend=%d fired=%d", tr.eng.Now(), tr.eng.Pending(), tr.eng.Fired()))
+}
+
+// driveBoth replays one op sequence (drawn from rng) on a calendar engine
+// and a heap engine and returns both logs. The rng is consumed once and the
+// drawn script is applied to both engines, so the engines cannot diverge
+// through the random stream itself.
+func driveBoth(rng *sim.RNG, ops int) (cal, heap []string) {
+	a := newOpTrace(sim.QueueCalendar)
+	b := newOpTrace(sim.QueueHeap)
+	for i := 0; i < ops; i++ {
+		switch k := rng.Intn(10); {
+		case k < 4: // schedule: mixed horizons, frequent ties
+			dt := rng.Exponential(5)
+			if rng.Bool(0.2) {
+				dt = float64(rng.Intn(4)) // exact integer offsets force ties
+			}
+			if rng.Bool(0.02) {
+				dt = 1e9 * rng.Float64() // far-future outlier
+			}
+			a.schedule(dt)
+			b.schedule(dt)
+		case k < 6: // cancel a random label: live, fired, or repeated
+			label := 0
+			if n := len(a.ids); n > 0 {
+				label = rng.Intn(n)
+			}
+			a.cancel(label)
+			b.cancel(label)
+		case k < 9: // single step
+			a.step()
+			b.step()
+		default: // bounded run
+			dt := rng.Uniform(0, 20)
+			a.run(dt)
+			b.run(dt)
+		}
+	}
+	// Drain both completely so every surviving event's order is compared.
+	a.run(1e12)
+	b.run(1e12)
+	for a.eng.Step() {
+		a.log = append(a.log, "tail")
+	}
+	for b.eng.Step() {
+		b.log = append(b.log, "tail")
+	}
+	return a.log, b.log
+}
+
+// TestCalendarMatchesHeapOracle replays randomized schedule/cancel/step
+// interleavings across many independent substreams and requires the
+// calendar engine's observable behavior to match the heap oracle's exactly.
+func TestCalendarMatchesHeapOracle(t *testing.T) {
+	streams := 30
+	ops := 400
+	if testing.Short() {
+		streams, ops = 8, 150
+	}
+	subs := sim.NewRNG(20260808).Substreams("sim-oracle", streams)
+	for i, rng := range subs {
+		cal, heap := driveBoth(rng, ops)
+		if len(cal) != len(heap) {
+			t.Fatalf("substream %d: log lengths differ: calendar %d vs heap %d", i, len(cal), len(heap))
+		}
+		for j := range cal {
+			if cal[j] != heap[j] {
+				t.Fatalf("substream %d, entry %d:\n  calendar: %s\n  heap:     %s", i, j, cal[j], heap[j])
+			}
+		}
+	}
+}
+
+// TestCalendarMatchesHeapDense floods both engines with short-horizon ticks
+// (the simulator's steady-state shape: thousands of periodic events inside a
+// narrow window) and compares the full drain order.
+func TestCalendarMatchesHeapDense(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 800
+	}
+	run := func(kind sim.QueueKind) []string {
+		tr := newOpTrace(kind)
+		rng := sim.NewRNG(99)
+		for i := 0; i < n; i++ {
+			tr.schedule(rng.Uniform(0, 50))
+		}
+		for i := 0; i < n/4; i++ {
+			tr.cancel(rng.Intn(n))
+		}
+		tr.run(1e9)
+		return tr.log
+	}
+	cal, heap := run(sim.QueueCalendar), run(sim.QueueHeap)
+	if len(cal) != len(heap) {
+		t.Fatalf("log lengths differ: calendar %d vs heap %d", len(cal), len(heap))
+	}
+	for j := range cal {
+		if cal[j] != heap[j] {
+			t.Fatalf("entry %d:\n  calendar: %s\n  heap:     %s", j, cal[j], heap[j])
+		}
+	}
+}
