@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo bench-scale trace-diff trace-diff-chaos trace-diff-slo trace-diff-scale fmt-check ci
+.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo bench-scale bench-obs-scale bench-obs-scale-quick trace-diff trace-diff-chaos trace-diff-slo trace-diff-scale trace-diff-stream fmt-check ci
 
 all: build
 
@@ -58,6 +58,16 @@ bench-slo:
 bench-scale:
 	$(GO) run ./cmd/quasar-bench -scalebench-out BENCH_scale.json scalebench
 
+## bench-obs-scale: time the at-scale scenario untraced vs streaming-traced
+## (1k and 10k servers), refresh BENCH_obs_scale.json, and fail over the 10%
+## trace-overhead budget or on unbounded tracer memory
+bench-obs-scale:
+	$(GO) run ./cmd/quasar-bench -obsscale-out BENCH_obs_scale.json obsscale
+
+## bench-obs-scale-quick: the CI smoke variant (one small point, no baseline refresh)
+bench-obs-scale-quick:
+	$(GO) run ./cmd/quasar-bench -quick -obsscale-out /tmp/quasar-obs-scale-quick.json obsscale
+
 ## trace-diff: assert the trace is byte-identical across worker counts
 trace-diff:
 	$(GO) run ./cmd/quasar-sim -horizon 4000 -workers 1 -trace /tmp/quasar-trace-w1.jsonl >/dev/null
@@ -87,6 +97,16 @@ trace-diff-scale:
 		-services 20 -single 480 -besteffort 9500 -workers 4 -trace /tmp/quasar-scale-w4.jsonl >/dev/null
 	cmp /tmp/quasar-scale-w1.jsonl /tmp/quasar-scale-w4.jsonl
 	$(GO) run ./cmd/quasar-trace /tmp/quasar-scale-w1.jsonl
+
+## trace-diff-stream: assert the streaming sink's file is byte-identical to
+## the buffered exporter's, and worker-invariant, on the same scenario
+trace-diff-stream:
+	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 1 -trace /tmp/quasar-stream-w1.jsonl >/dev/null
+	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 1 -trace-buffer -trace /tmp/quasar-stream-buf.jsonl >/dev/null
+	$(GO) run ./cmd/quasar-sim -horizon 6000 -workers 4 -trace /tmp/quasar-stream-w4.jsonl >/dev/null
+	cmp /tmp/quasar-stream-w1.jsonl /tmp/quasar-stream-buf.jsonl
+	cmp /tmp/quasar-stream-w1.jsonl /tmp/quasar-stream-w4.jsonl
+	$(GO) run ./cmd/quasar-trace /tmp/quasar-stream-w1.jsonl
 
 ## fmt-check: fail if any file needs gofmt
 fmt-check:

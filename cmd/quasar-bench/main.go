@@ -36,14 +36,24 @@
 // -scalebench-out (default BENCH_scale.json); speedups below the scaling
 // contract exit non-zero.
 //
+// The "obsscale" artifact (not in the default suite) times the at-scale
+// scenario untraced vs traced through the streaming sink at 1k and 10k
+// servers and writes events/sec, overhead fraction, and the tracer's
+// high-water memory to -obsscale-out (default BENCH_obs_scale.json);
+// overhead past the budget exits non-zero.
+//
 // The -quick flag shrinks every scenario (fewer workloads, shorter
-// horizons) for a fast smoke pass.
+// horizons) for a fast smoke pass. -cpuprofile and -memprofile capture
+// pprof profiles of whatever artifacts run, for drilling into where the
+// engine itself spends time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"quasar/internal/experiments"
@@ -54,14 +64,36 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shrink scenarios for a fast pass")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel fan-outs (0 = GOMAXPROCS); never changes results")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	parbenchOut := flag.String("parbench-out", "BENCH_parallel.json", "output path for the parbench artifact")
 	obsbenchOut := flag.String("obsbench-out", "BENCH_obs.json", "output path for the obsbench artifact")
 	chaosbenchOut := flag.String("chaosbench-out", "BENCH_chaos.json", "output path for the chaosbench artifact")
 	slobenchOut := flag.String("slobench-out", "BENCH_slo.json", "output path for the slobench artifact")
 	allocbenchOut := flag.String("allocbench-out", "BENCH_alloc.json", "output path for the allocbench artifact")
 	scalebenchOut := flag.String("scalebench-out", "BENCH_scale.json", "output path for the scalebench artifact")
+	obsscaleOut := flag.String("obsscale-out", "BENCH_obs_scale.json", "output path for the obsscale artifact")
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			die(err)
+			runtime.GC() // settle the heap so the profile shows retained memory
+			die(pprof.WriteHeapProfile(f))
+			_ = f.Close()
+		}()
+	}
 
 	artifacts := flag.Args()
 	if len(artifacts) == 0 {
@@ -261,6 +293,16 @@ func main() {
 			die(err)
 			res.Print(os.Stdout)
 			die(res.WriteJSON(*scalebenchOut))
+			die(res.Check())
+		case "obsscale":
+			cfg := experiments.DefaultObsScaleConfig()
+			if *quick {
+				cfg = experiments.QuickObsScaleConfig()
+			}
+			res, err := experiments.ObsScale(cfg)
+			die(err)
+			res.Print(os.Stdout)
+			die(res.WriteJSON(*obsscaleOut))
 			die(res.Check())
 		case "obsbench":
 			cfg := experiments.DefaultObsBenchConfig()

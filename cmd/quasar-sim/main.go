@@ -8,10 +8,18 @@
 //	           -single 40 -besteffort 60 -horizon 20000 -seed 7
 //
 // At-scale runs override the testbed preset with a uniform cluster and pack
-// submissions tighter:
+// submissions tighter; stream the trace and sample workloads to keep both
+// memory and trace size bounded:
 //
 //	quasar-sim -servers 1000 -gap 0.02 -horizon 260 -hadoop 0 -spark 0 \
-//	           -storm 0 -services 20 -single 480 -besteffort 9500
+//	           -storm 0 -services 20 -single 480 -besteffort 9500 \
+//	           -trace run.jsonl -trace-sample 0.1 -trace-topk 8
+//
+// JSONL traces stream to disk while the run executes (the in-memory footprint
+// stays bounded regardless of trace size) and finalize via temp-file + rename,
+// so a failed run still leaves a valid partial trace. -trace-buffer opts back
+// into full in-memory buffering; chrome and prom formats imply it, since they
+// render from the whole trace.
 package main
 
 import (
@@ -19,18 +27,27 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"quasar/internal/chaos"
 	"quasar/internal/core"
 	"quasar/internal/experiments"
 	"quasar/internal/loadgen"
 	"quasar/internal/obs"
+	"quasar/internal/obs/prof"
 	"quasar/internal/par"
 	"quasar/internal/perfmodel"
 	"quasar/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		managerName = flag.String("manager", "quasar", "quasar | reservation-ll | reservation-paragon | framework | autoscale | mesos-drf")
 		clusterName = flag.String("cluster", "local40", "local40 | ec2x200")
@@ -48,6 +65,12 @@ func main() {
 		verbose     = flag.Bool("v", false, "per-workload detail")
 		tracePath   = flag.String("trace", "", "write a deterministic trace of the run to this file")
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl | chrome | prom")
+		traceBuffer = flag.Bool("trace-buffer", false, "buffer the whole trace in memory instead of streaming to disk (implied by chrome/prom formats)")
+		traceLevel  = flag.String("trace-level", "", "default trace level: off | lifecycle | decision | debug (empty records everything)")
+		traceCats   = flag.String("trace-cats", "", "per-category level overrides, e.g. 'runtime=lifecycle,chaos=off'")
+		traceSample = flag.Float64("trace-sample", 0, "keep this fraction of workloads in the trace (hash-based and deterministic; 0 or 1 keeps all)")
+		traceTopK   = flag.Int("trace-topk", 0, "truncate schedule-decision candidate rankings to the K best (0 keeps the full ranking)")
+		profFlag    = flag.Bool("prof", false, "print an engine self-profile (wall-clock time per subsystem) after the run")
 		faultsPath  = flag.String("faults", "", "inject faults from this chaos plan JSON (e.g. internal/chaos/testdata/storm.json)")
 		sloFlag     = flag.Bool("slo", false, "monitor every non-best-effort workload against its SLO and report error budgets, burn-rate alerts, and cluster health")
 	)
@@ -67,30 +90,74 @@ func main() {
 		cl = experiments.EC2x200
 	}
 
+	controls, err := parseControls(*traceLevel, *traceCats, *traceSample, *traceTopK)
+	if err != nil {
+		return err
+	}
+	// JSONL traces stream straight to disk unless buffering is asked for;
+	// chrome/prom render from the whole trace and need the buffer.
+	var stream *obs.StreamSink
+	var sinks []obs.Sink
+	if *tracePath != "" && *traceFormat == "jsonl" && !*traceBuffer {
+		stream, err = obs.NewStreamSink(*tracePath)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, stream)
+	}
+
 	s, err := experiments.NewScenario(experiments.ScenarioConfig{
 		Cluster: cl, Servers: *servers, Manager: kind, Seed: *seed, MaxNodes: 4,
 		SeedLib: 3, Misestimate: true,
 		Trace: *tracePath != "", SLO: *sloFlag,
+		TraceSinks: sinks, TraceControls: controls,
 	})
 	if err != nil {
-		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		if stream != nil {
+			stream.Discard()
+		}
+		return err
 	}
+	// Finalize the trace no matter how the run ends: the streaming sink
+	// renames its temp file into place on Close, so even an error below
+	// leaves a valid partial trace instead of nothing.
+	defer func() {
+		if s.Tracer != nil {
+			_ = s.Tracer.Close()
+		}
+	}()
 
 	var inj *chaos.Injector
 	if *faultsPath != "" {
 		plan, err := chaos.Load(*faultsPath)
 		if err != nil {
-			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
 		}
 		// Armed before any submission, like the availability experiment:
 		// the injector's RNG stream derivation order is part of the
 		// deterministic identity of the run.
 		inj, err = s.AttachFaults(plan, core.DefaultDetectorOptions())
 		if err != nil {
-			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
+		}
+	}
+
+	var p *prof.Profiler
+	if *profFlag {
+		p = prof.New()
+		if s.Q != nil {
+			s.Q.SetProfiler(p)
+		} else {
+			s.RT.SetProfiler(p)
+		}
+		if s.SLO != nil {
+			s.SLO.Prof = p
+		}
+		if inj != nil {
+			inj.Prof = p
+		}
+		if stream != nil {
+			stream.Prof = p
 		}
 	}
 
@@ -131,11 +198,21 @@ func main() {
 	s.RT.Stop()
 
 	if *tracePath != "" {
-		if err := writeTrace(*tracePath, *traceFormat, s.Tracer); err != nil {
-			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		if stream != nil {
+			if err := s.Tracer.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace: %d events -> %s (jsonl, streamed, %d bytes)\n",
+				s.Tracer.Len(), *tracePath, stream.BytesWritten())
+		} else {
+			if err := writeTrace(*tracePath, *traceFormat, s.Tracer); err != nil {
+				return err
+			}
+			fmt.Printf("trace: %d events -> %s (%s)\n", s.Tracer.Len(), *tracePath, *traceFormat)
 		}
-		fmt.Printf("trace: %d events -> %s (%s)\n", s.Tracer.Len(), *tracePath, *traceFormat)
+		if d := s.Tracer.Dropped(); d > 0 {
+			fmt.Printf("trace controls dropped %d events (recorded in the trace header)\n", d)
+		}
 	}
 
 	clusterLabel := *clusterName
@@ -192,6 +269,44 @@ func main() {
 				rec.Displaced, rec.DisplacedLC, rec.Readmitted, rec.ReadmittedNoReprofile, rec.MTTR())
 		}
 	}
+
+	if p != nil {
+		if err := p.WriteReport(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseControls builds trace controls from the -trace-* flags, nil when every
+// flag is at its record-everything default.
+func parseControls(level, cats string, sample float64, topK int) (*obs.Controls, error) {
+	c := obs.Controls{SampleWorkloads: sample, TopK: topK}
+	if level != "" {
+		l, ok := obs.ParseLevel(level)
+		if !ok {
+			return nil, fmt.Errorf("unknown -trace-level %q (want off, lifecycle, decision, or debug)", level)
+		}
+		c.Default = l
+	}
+	if cats != "" {
+		c.Category = map[string]obs.Level{}
+		for _, pair := range strings.Split(cats, ",") {
+			cat, lvl, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -trace-cats entry %q (want category=level)", pair)
+			}
+			l, okL := obs.ParseLevel(lvl)
+			if !okL {
+				return nil, fmt.Errorf("unknown level %q in -trace-cats entry %q", lvl, pair)
+			}
+			c.Category[cat] = l
+		}
+	}
+	if c.Default == obs.LevelUnset && len(c.Category) == 0 && sample == 0 && topK == 0 { //lint:allow(floatcmp) zero means "flag not set"
+		return nil, nil
+	}
+	return &c, nil
 }
 
 // writeTrace renders the collected trace in the requested format.

@@ -44,12 +44,45 @@ func main() {
 		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	evs, err := obs.ReadJSONL(f)
-	_ = f.Close()
+	defer func() { _ = f.Close() }()
+
+	if *task == "" && !*alerts {
+		// The summary view aggregates incrementally over ScanJSONL, holding
+		// one line at a time — a multi-gigabyte streamed trace summarizes in
+		// constant memory.
+		var sum summary
+		hdr, err := obs.ScanJSONL(f, func(ev *obs.RawEvent) error {
+			if ev.T < *since || ev.T > *until {
+				return nil
+			}
+			sum.add(ev)
+			return nil
+		}, sum.metric)
+		if err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		reportControls(hdr, sum.droppedAtRecord)
+		sum.report()
+		return
+	}
+
+	var evs []obs.RawEvent
+	var droppedAtRecord float64
+	hdr, err := obs.ScanJSONL(f, func(ev *obs.RawEvent) error {
+		evs = append(evs, *ev)
+		return nil
+	}, func(m *obs.RawMetric) error {
+		if m.Name == "tracer_events_dropped_total" {
+			_ = json.Unmarshal(m.Value, &droppedAtRecord)
+		}
+		return nil
+	})
 	if err != nil {
 		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	reportControls(hdr, droppedAtRecord)
 	evs = clipWindow(evs, *since, *until)
 
 	switch {
@@ -59,11 +92,39 @@ func main() {
 		explainPlacement(evs, *task, *server)
 	case *task != "" && *qos:
 		explainQoS(evs, *task)
-	case *task != "":
-		timeline(evs, *task)
 	default:
-		summarize(evs)
+		timeline(evs, *task)
 	}
+}
+
+// reportControls tells the reader what the recording run chose to drop, from
+// the trace header and the tracer's own drop counter — so "no events for
+// workload X" can mean "sampled out at record time", not "never happened".
+func reportControls(h *obs.Header, dropped float64) {
+	if h == nil {
+		return
+	}
+	var parts []string
+	if h.Level != "" {
+		parts = append(parts, "level="+h.Level)
+	}
+	for _, cl := range h.Levels {
+		parts = append(parts, cl.Cat+"="+cl.Level)
+	}
+	if h.Sampled {
+		parts = append(parts, fmt.Sprintf("workload sample=%.3g", h.Sample))
+	}
+	if h.TopK > 0 {
+		parts = append(parts, fmt.Sprintf("top-k candidates=%d", h.TopK))
+	}
+	if len(parts) == 0 {
+		return
+	}
+	fmt.Printf("recorded with trace controls: %s", strings.Join(parts, ", "))
+	if dropped > 0 {
+		fmt.Printf(" (%.0f events dropped at record time)", dropped)
+	}
+	fmt.Println()
 }
 
 // clipWindow keeps the events inside [since, until]. Events are time-ordered
@@ -112,73 +173,98 @@ func touches(ev *obs.RawEvent, task string) bool {
 	return false
 }
 
-func summarize(evs []obs.RawEvent) {
-	if len(evs) == 0 {
+// summary accumulates the run-summary aggregates one event at a time, so the
+// streaming path never holds the trace in memory.
+type summary struct {
+	count              int
+	minT, maxT         float64
+	byName             map[string]int
+	workloads, servers map[string]bool
+	decisions, placed  int
+	chaosCount, detect map[string]int
+	readmits, reused   int
+	deferred           int
+	delaySum           float64
+	droppedAtRecord    float64
+}
+
+func (s *summary) add(ev *obs.RawEvent) {
+	if s.byName == nil {
+		s.byName = map[string]int{}
+		s.workloads, s.servers = map[string]bool{}, map[string]bool{}
+		s.chaosCount, s.detect = map[string]int{}, map[string]int{}
+		s.minT = ev.T
+	}
+	s.count++
+	s.maxT = ev.T
+	s.byName[ev.Name]++
+	if strings.HasPrefix(ev.Track, "workload/") {
+		s.workloads[strings.TrimPrefix(ev.Track, "workload/")] = true
+	}
+	if strings.HasPrefix(ev.Track, "server/") {
+		s.servers[ev.Track] = true
+	}
+	if d, ok := decisionOf(ev); ok {
+		s.decisions++
+		if d.Outcome == obs.OutcomePlaced {
+			s.placed++
+		}
+	}
+	switch ev.Cat {
+	case "chaos":
+		s.chaosCount[ev.Name]++
+	case "detect":
+		s.detect[ev.Name]++
+	case "recover":
+		switch ev.Name {
+		case "re-admit":
+			s.readmits++
+			a := argsOf(ev)
+			if d, ok := a["delay_secs"].(float64); ok {
+				s.delaySum += d
+			}
+			if r, ok := a["reused_signature"].(bool); ok && r {
+				s.reused++
+			}
+		case "readmit-defer":
+			s.deferred++
+		}
+	}
+}
+
+// metric harvests the trailing metric lines the summary reports on.
+func (s *summary) metric(m *obs.RawMetric) error {
+	if m.Name == "tracer_events_dropped_total" {
+		_ = json.Unmarshal(m.Value, &s.droppedAtRecord)
+	}
+	return nil
+}
+
+func (s *summary) report() {
+	if s.count == 0 {
 		fmt.Println("empty trace")
 		return
 	}
-	byName := map[string]int{}
-	workloads, servers := map[string]bool{}, map[string]bool{}
-	decisions, placed := 0, 0
-	chaosCount, detect := map[string]int{}, map[string]int{}
-	readmits, reused, deferred := 0, 0, 0
-	delaySum := 0.0
-	for i := range evs {
-		ev := &evs[i]
-		byName[ev.Name]++
-		if strings.HasPrefix(ev.Track, "workload/") {
-			workloads[strings.TrimPrefix(ev.Track, "workload/")] = true
-		}
-		if strings.HasPrefix(ev.Track, "server/") {
-			servers[ev.Track] = true
-		}
-		if d, ok := decisionOf(ev); ok {
-			decisions++
-			if d.Outcome == obs.OutcomePlaced {
-				placed++
-			}
-		}
-		switch ev.Cat {
-		case "chaos":
-			chaosCount[ev.Name]++
-		case "detect":
-			detect[ev.Name]++
-		case "recover":
-			switch ev.Name {
-			case "re-admit":
-				readmits++
-				a := argsOf(ev)
-				if d, ok := a["delay_secs"].(float64); ok {
-					delaySum += d
-				}
-				if r, ok := a["reused_signature"].(bool); ok && r {
-					reused++
-				}
-			case "readmit-defer":
-				deferred++
-			}
-		}
-	}
-	fmt.Printf("events: %d  span: %.0fs..%.0fs\n", len(evs), evs[0].T, evs[len(evs)-1].T)
-	fmt.Printf("workloads: %d  servers touched: %d\n", len(workloads), len(servers))
-	fmt.Printf("schedule decisions: %d (%d placed, %d rejected)\n", decisions, placed, decisions-placed)
-	if len(chaosCount) > 0 || len(detect) > 0 || readmits > 0 || deferred > 0 {
+	fmt.Printf("events: %d  span: %.0fs..%.0fs\n", s.count, s.minT, s.maxT)
+	fmt.Printf("workloads: %d  servers touched: %d\n", len(s.workloads), len(s.servers))
+	fmt.Printf("schedule decisions: %d (%d placed, %d rejected)\n", s.decisions, s.placed, s.decisions-s.placed)
+	if len(s.chaosCount) > 0 || len(s.detect) > 0 || s.readmits > 0 || s.deferred > 0 {
 		fmt.Printf("faults injected: %d crashes, %d slowdowns, %d partitions (%d restarts, %d heals)\n",
-			chaosCount["fault-crash"], chaosCount["fault-slowdown"], chaosCount["fault-partition"],
-			chaosCount["fault-restart"], chaosCount["fault-heal"])
+			s.chaosCount["fault-crash"], s.chaosCount["fault-slowdown"], s.chaosCount["fault-partition"],
+			s.chaosCount["fault-restart"], s.chaosCount["fault-heal"])
 		fmt.Printf("detector: %d suspected, %d declared dead, %d restored; %d workload displacements\n",
-			detect["hb-suspect"], detect["hb-dead"], detect["hb-restored"], detect["displaced"])
+			s.detect["hb-suspect"], s.detect["hb-dead"], s.detect["hb-restored"], s.detect["displaced"])
 		fmt.Printf("recovery: %d re-admissions (%d reusing the cached signature), %d deferred",
-			readmits, reused, deferred)
-		if readmits > 0 {
-			fmt.Printf("; MTTR %.0fs", delaySum/float64(readmits))
+			s.readmits, s.reused, s.deferred)
+		if s.readmits > 0 {
+			fmt.Printf("; MTTR %.0fs", s.delaySum/float64(s.readmits))
 		}
 		fmt.Println()
 	}
-	names := make([]string, 0, len(byName))
-	for n := range byName {
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
 		// Placement spans are named after workloads; fold them into one row.
-		if workloads[n] {
+		if s.workloads[n] {
 			continue
 		}
 		names = append(names, n)
@@ -186,7 +272,7 @@ func summarize(evs []obs.RawEvent) {
 	sort.Strings(names)
 	fmt.Println("event counts:")
 	for _, n := range names {
-		fmt.Printf("  %-18s %d\n", n, byName[n])
+		fmt.Printf("  %-18s %d\n", n, s.byName[n])
 	}
 }
 

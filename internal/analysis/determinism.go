@@ -13,8 +13,11 @@ import (
 //
 //  1. draws from math/rand's unseeded global source (use a seeded
 //     *rand.Rand, e.g. sim.NewRNG);
-//  2. bare time.Now() outside the wall-clock allowlist (simulation code
-//     must use the engine's virtual clock or an injected clock);
+//  2. wall-clock reads — time.Now() or time.Since() — outside the
+//     wall-clock allowlist, in function bodies and in package-level var
+//     initializers alike (simulation code must use the engine's virtual
+//     clock or an injected clock; overhead measurement goes through the
+//     allowlisted internal/obs/prof profiler);
 //  3. iteration over a map that appends to a slice declared outside the
 //     loop without a subsequent deterministic sort — the slice's order
 //     then depends on Go's randomized map iteration;
@@ -45,7 +48,8 @@ import (
 //     Integer accumulation is associative and passes.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc: "flags unseeded global math/rand draws, bare time.Now(), " +
+	Doc: "flags unseeded global math/rand draws, wall-clock reads " +
+		"(time.Now/time.Since, including package-level var initializers), " +
 		"unsorted result accumulation across map iteration, shared-RNG " +
 		"capture in concurrent tasks, trace emission in map order or " +
 		"across concurrent tasks, engine scheduling or RNG draws in " +
@@ -71,6 +75,12 @@ var Determinism = &Analyzer{
 // inject a clock or use virtual time.
 var wallClockAllowlist = map[string]bool{
 	"quasar/internal/experiments.wallClock": true,
+	// The self-profiler is the sanctioned wall-clock boundary: wallNow is
+	// its single read point and base anchors it at process start. See the
+	// package doc of internal/obs/prof for why it sits outside the
+	// determinism contract.
+	"quasar/internal/obs/prof.wallNow": true,
+	"quasar/internal/obs/prof.base":    true,
 }
 
 // globalRandFuncs are the math/rand package-level functions that draw
@@ -90,12 +100,63 @@ var globalRandFuncs = map[string]bool{
 func runDeterminism(pass *Pass) {
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				checkFuncDeterminism(pass, d)
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				checkVarDeterminism(pass, d)
 			}
-			checkFuncDeterminism(pass, fd)
 		}
+	}
+}
+
+// checkVarDeterminism flags wall-clock reads in package-level var
+// initializers. These run before any function body, so the function walk
+// never sees them — `var start = time.Now()` would otherwise smuggle a
+// wall-clock anchor into simulation code unnoticed. The allowlist key is
+// pkgpath.VarName (first name of the spec), matching funcKey's shape.
+func checkVarDeterminism(pass *Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) == 0 || len(vs.Names) == 0 {
+			continue
+		}
+		key := pass.Pkg.Path + "." + vs.Names[0].Name
+		for _, v := range vs.Values {
+			ast.Inspect(v, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkgPath, name, ok := pkgFuncCall(pass, call); ok {
+					reportWallClock(pass, call, pkgPath, name, key)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// reportWallClock flags time.Now and time.Since calls outside the
+// wall-clock allowlist. Both read the real clock: Since is Now minus its
+// argument, so it is exactly as nondeterministic under fixed seeds.
+func reportWallClock(pass *Pass, call *ast.CallExpr, pkgPath, name, allowKey string) {
+	if pkgPath != "time" || wallClockAllowlist[allowKey] {
+		return
+	}
+	switch name {
+	case "Now":
+		pass.Reportf(call.Pos(),
+			"bare time.Now() is nondeterministic under fixed seeds; use the sim engine's virtual clock or an injected clock")
+	case "Since":
+		pass.Reportf(call.Pos(),
+			"time.Since reads the wall clock and is nondeterministic under fixed seeds; use the sim engine's virtual clock or route overhead measurement through internal/obs/prof")
 	}
 }
 
@@ -114,9 +175,8 @@ func checkFuncDeterminism(pass *Pass, fd *ast.FuncDecl) {
 				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[name]:
 					pass.Reportf(n.Pos(),
 						"call to global math/rand.%s draws from the unseeded shared source; use a seeded generator (sim.NewRNG)", name)
-				case pkgPath == "time" && name == "Now" && !wallClockAllowlist[funcKey(pass, fd)]:
-					pass.Reportf(n.Pos(),
-						"bare time.Now() is nondeterministic under fixed seeds; use the sim engine's virtual clock or an injected clock")
+				case pkgPath == "time":
+					reportWallClock(pass, n, pkgPath, name, funcKey(pass, fd))
 				}
 				if strings.HasSuffix(pkgPath, "internal/par") && parFanoutFuncs[name] {
 					for _, arg := range n.Args {

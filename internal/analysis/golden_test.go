@@ -28,6 +28,8 @@ var goldenCases = []struct {
 	{Determinism, "determinism_chaos_clean", false},
 	{Determinism, "determinism_slo_bad", true},
 	{Determinism, "determinism_slo_clean", false},
+	{Determinism, "determinism_prof_bad", true},
+	{Determinism, "determinism_prof_clean", false},
 	{FloatCmp, "floatcmp_bad", true},
 	{FloatCmp, "floatcmp_clean", false},
 	{SnapshotDrift, "snapshotdrift_bad", true},

@@ -1,0 +1,25 @@
+// Package determinism_prof_bad is a known-bad fixture for the wall-clock
+// rules of the determinism analyzer: every declaration reads the real
+// clock outside the profiler allowlist — via time.Since, or via a
+// package-level var initializer that the function walk never sees.
+package determinism_prof_bad
+
+import "time"
+
+// started anchors a wall-clock epoch before any function runs. Only the
+// allowlisted profiler (internal/obs/prof) may do this.
+var started = time.Now()
+
+// deadline hides the read inside a nested expression of the initializer.
+var deadline = float64(time.Now().UnixNano()) + 30e9
+
+// Elapsed measures against the wall clock: two runs of the same seed see
+// different values.
+func Elapsed() float64 {
+	return time.Since(started).Seconds()
+}
+
+// StampAndMeasure combines both reads in one body.
+func StampAndMeasure(t0 time.Time) (int64, float64) {
+	return time.Now().UnixNano(), time.Since(t0).Seconds()
+}

@@ -1,0 +1,25 @@
+// Package determinism_prof_clean is a known-clean fixture for the
+// wall-clock rules of the determinism analyzer: each declaration is the
+// sanctioned counterpart of a determinism_prof_bad pattern — virtual
+// time threaded in as a value, never read from the real clock.
+package determinism_prof_clean
+
+// epoch is a fixed anchor, not a wall-clock read; package-level var
+// initializers are walked, and this one is a pure constant expression.
+var epoch = int64(0)
+
+// Elapsed measures against injected virtual time.
+func Elapsed(nowSecs, startSecs float64) float64 {
+	return nowSecs - startSecs
+}
+
+// StampAndMeasure takes its timestamps from the simulation clock.
+func StampAndMeasure(clock func() float64, t0 float64) (float64, float64) {
+	now := clock()
+	return now, now - t0
+}
+
+// SinceEpoch derives a duration arithmetically from injected nanos.
+func SinceEpoch(nowNanos int64) int64 {
+	return nowNanos - epoch
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"quasar/internal/obs/prof"
 	"quasar/internal/sim"
 )
 
@@ -53,6 +54,10 @@ type Injector struct {
 	plan  *Plan
 	rng   *sim.RNG
 	stats Stats
+
+	// Prof, when non-nil, attributes injection wall time to prof.SubChaos.
+	// Outside the determinism boundary; see internal/obs/prof.
+	Prof *prof.Profiler
 }
 
 // NewInjector validates the plan and binds it to an engine and a world. The
@@ -131,6 +136,8 @@ func (in *Injector) arm(spec *FaultSpec, rng *sim.RNG) {
 // The target draw happens per injection so repeating random faults spread
 // over the cluster.
 func (in *Injector) inject(spec *FaultSpec, rng *sim.RNG) {
+	t0 := in.Prof.Begin()
+	defer in.Prof.End(prof.SubChaos, t0)
 	id := spec.Server
 	if id == AnyServer {
 		id = rng.Intn(in.w.NumServers())

@@ -7,6 +7,7 @@ import (
 	"quasar/internal/cf"
 	"quasar/internal/cluster"
 	"quasar/internal/obs"
+	"quasar/internal/obs/prof"
 	"quasar/internal/par"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
@@ -186,11 +187,18 @@ type Engine struct {
 	rowOf   map[string]int
 	rng     *sim.RNG
 	tracer  *obs.Tracer
+	prof    *prof.Profiler
 }
 
 // SetTracer installs the tracer. Probe fan-outs trace through shards merged
 // in input order, so emission stays deterministic across worker counts.
 func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
+
+// SetProfiler installs the self-profiler; Classify and EnsureTrained (the
+// sequential, sim-goroutine entry points) attribute to prof.SubClassify.
+// ClassifyDetached runs on pool workers and stays uninstrumented — the
+// profiler is single-goroutine by design.
+func (e *Engine) SetProfiler(p *prof.Profiler) { e.prof = p }
 
 // NewEngine builds an engine for the platform set.
 func NewEngine(platforms []cluster.Platform, opts Options, rng *sim.RNG) *Engine {
@@ -240,6 +248,8 @@ func (e *Engine) RetrainAll() {
 // invoke it before a detached (concurrent, read-only) classification pass so
 // the fan-out folds in against frozen models instead of racing to train.
 func (e *Engine) EnsureTrained() {
+	t0 := e.prof.Begin()
+	defer e.prof.End(prof.SubClassify, t0)
 	par.ParFor(e.workers, int(numAxes), func(i int) {
 		a := e.axes[i]
 		if a.model == nil && a.mat.Rows > 0 {
@@ -400,6 +410,8 @@ func (e *Engine) profilingAlloc() cluster.Alloc {
 // full rows by fold-in. The workload is appended to the matrices so later
 // arrivals benefit from it.
 func (e *Engine) Classify(w *workload.Instance, p Prober) *Estimates {
+	t0 := e.prof.Begin()
+	defer e.prof.End(prof.SubClassify, t0)
 	po := e.probeArrival(w, p, e.rng.Stream("classify/"+w.ID))
 	row := e.appendObs(w.ID, po)
 	if e.tracer.Enabled() {

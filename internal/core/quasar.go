@@ -8,6 +8,7 @@ import (
 	"quasar/internal/classify"
 	"quasar/internal/cluster"
 	"quasar/internal/obs"
+	"quasar/internal/obs/prof"
 	"quasar/internal/perfmodel"
 	"quasar/internal/sched"
 	"quasar/internal/sim"
@@ -147,6 +148,15 @@ func (q *Quasar) SetTracer(tr *obs.Tracer) {
 		reg.Gauge("quasar_phase_changes", "phase changes detected",
 			func() float64 { return float64(q.PhaseChangesDetected) })
 	}
+}
+
+// SetProfiler wires the engine self-profiler through the same layers
+// SetTracer covers: the runtime's tick sweeps (and sim engine's queue core),
+// the scheduler, and the classification engine.
+func (q *Quasar) SetProfiler(p *prof.Profiler) {
+	q.sch.Prof = p
+	q.rt.SetProfiler(p)
+	q.engine.SetProfiler(p)
 }
 
 // resVecSlice converts a pressure vector into the decision-payload form.

@@ -14,6 +14,7 @@ import (
 	"quasar/internal/loadgen"
 	"quasar/internal/metrics"
 	"quasar/internal/obs"
+	"quasar/internal/obs/prof"
 	"quasar/internal/perfmodel"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
@@ -174,6 +175,10 @@ type Runtime struct {
 	// transitions. All emission happens on the sim goroutine.
 	Trace *obs.Tracer
 
+	// Prof, when non-nil, attributes the tick/sample sweeps' wall time to
+	// prof.SubRuntime. Outside the determinism boundary; see internal/obs/prof.
+	Prof *prof.Profiler
+
 	opts    Options
 	manager Manager
 
@@ -256,6 +261,15 @@ func (rt *Runtime) SetTracer(tr *obs.Tracer) {
 			return float64(n)
 		})
 	}
+}
+
+// SetProfiler installs the engine self-profiler on the runtime and its sim
+// engine. Like SetTracer it should run before the scenario starts; unlike
+// the tracer, nothing the profiler measures feeds back into any simulation
+// output.
+func (rt *Runtime) SetProfiler(p *prof.Profiler) {
+	rt.Prof = p
+	rt.Eng.Prof = p
 }
 
 // spanID names the placement span of a workload on a server; placements on
@@ -498,6 +512,8 @@ func (rt *Runtime) OfferedLoad(t *Task) float64 {
 
 // tick advances every running task by one interval.
 func (rt *Runtime) tick(now float64) {
+	t0 := rt.Prof.Begin()
+	defer rt.Prof.End(prof.SubRuntime, t0)
 	dt := rt.opts.TickSecs
 	for _, t := range rt.ordered {
 		if t.Status != StatusRunning {
@@ -615,6 +631,8 @@ func (rt *Runtime) tickService(t *Task, now float64) {
 
 // sample records per-server utilization.
 func (rt *Runtime) sample(now float64) {
+	t0 := rt.Prof.Begin()
+	defer rt.Prof.End(prof.SubRuntime, t0)
 	if n := len(rt.Cl.Servers); cap(rt.cpuBuf) < n {
 		rt.cpuBuf = make([]float64, n) //lint:allow(hotalloc) grow-once scratch: steady-state sweeps reuse it
 		rt.memBuf = make([]float64, n) //lint:allow(hotalloc) grow-once scratch: steady-state sweeps reuse it

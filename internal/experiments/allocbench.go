@@ -10,6 +10,7 @@ import (
 	"quasar/internal/classify"
 	"quasar/internal/cluster"
 	"quasar/internal/loadgen"
+	"quasar/internal/obs"
 	"quasar/internal/par"
 	"quasar/internal/sched"
 	"quasar/internal/sim"
@@ -86,6 +87,13 @@ var allocBudgets = map[string]float64{
 	// adds window pushes and health scoring on reused scratch
 	// (measured 68.0).
 	"slo_tick": 90,
+	// One event through the full trace pipeline — controls, sequencing, and
+	// fan-out to a streaming JSONL sink plus a ring flight recorder. The
+	// caller's variadic args slice and its boxed values are three of these;
+	// the rest is argsObject.MarshalJSON's per-arg json.Marshal buffers —
+	// kept, despite the count, because hand-rolled escaping would put the
+	// byte-identity contract at risk (measured 15.0).
+	"tracer_emit": 20,
 }
 
 // simStepProbe builds a self-rescheduling event loop and measures one Step.
@@ -155,6 +163,32 @@ func schedScheduleProbe(runs int, seed int64) (float64, error) {
 	return testing.AllocsPerRun(runs, func() {
 		_, _ = s.Schedule(req)
 	}), nil
+}
+
+// tracerEmitProbe measures one event through the whole trace pipeline at
+// steady state: controls active (an off-category filter that the probe's own
+// category passes, so the keep path runs), sequence assignment, and fan-out
+// to a streaming JSONL sink (real encoding, discarded bytes) plus a ring
+// flight recorder. The warm loop fills the ring and the encoder's pooled
+// scratch first.
+func tracerEmitProbe(runs int) float64 {
+	now := 0.0
+	tr := obs.NewWithSinks(func() float64 { return now },
+		obs.NewStreamSinkWriter(io.Discard), obs.NewRingSink(256))
+	tr.SetControls(obs.Controls{Category: map[string]obs.Level{"chaos": obs.LevelOff}})
+	emit := func(i int) {
+		now += 0.001
+		tr.Instant("server/7", "runtime", "alloc.probe",
+			obs.Arg{Key: "tick", Val: i}, obs.Arg{Key: "load", Val: now})
+	}
+	for i := 0; i < 512; i++ {
+		emit(i)
+	}
+	i := 0
+	return testing.AllocsPerRun(runs, func() {
+		i++
+		emit(i)
+	})
 }
 
 // steadyServiceScenario builds a Quasar scenario whose workloads never
@@ -232,6 +266,8 @@ func AllocBench(cfg AllocBenchConfig) (*AllocBenchResult, error) {
 		return nil, err
 	}
 	add("slo_tick", "quasar/internal/slo.(*Engine).onTick", allocs)
+
+	add("tracer_emit", "quasar/internal/obs.(*Tracer).emit", tracerEmitProbe(cfg.Runs))
 
 	return res, nil
 }

@@ -47,6 +47,12 @@ type ObsBenchResult struct {
 	OverheadFrac float64 `json:"overhead_frac"`
 	Events       int     `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// TracerBytes is the deterministic cumulative size estimate of the
+	// accepted event stream (the tracer_bytes gauge); TracerHighWater is the
+	// maximum memory the sink pipeline retained at any moment during the
+	// traced run.
+	TracerBytes     int64 `json:"tracer_bytes"`
+	TracerHighWater int   `json:"tracer_high_water_bytes"`
 }
 
 // obsBenchRun executes one full scenario and returns it (for event counts).
@@ -145,6 +151,8 @@ func ObsBench(cfg ObsBenchConfig) (*ObsBenchResult, error) {
 	if on > 0 {
 		res.EventsPerSec = float64(res.Events) / on
 	}
+	res.TracerBytes = traced.Tracer.BytesEstimate()
+	_, res.TracerHighWater = traced.Tracer.RetainedBytes()
 	return res, nil
 }
 
@@ -155,6 +163,8 @@ func (r *ObsBenchResult) Print(w io.Writer) {
 	fprintf(w, "tracer off: %8.3fs\n", r.OffSecs)
 	fprintf(w, "tracer on:  %8.3fs  (%+.1f%% overhead)\n", r.OnSecs, 100*r.OverheadFrac)
 	fprintf(w, "events: %d (%.0f events/sec of bench wall time)\n", r.Events, r.EventsPerSec)
+	fprintf(w, "tracer memory: %d bytes accepted, %d bytes high water\n",
+		r.TracerBytes, r.TracerHighWater)
 }
 
 // WriteJSON writes the result to path.

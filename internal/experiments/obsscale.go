@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"quasar/internal/obs"
+)
+
+// ObsScale measures the trace pipeline at cluster scale: the same at-scale
+// scenario ScaleTrace pins for determinism is run untraced and then traced
+// through a streaming sink, at each sweep point. The record answers the
+// questions the streaming refactor exists for — what does tracing cost at
+// 10k servers (wall-clock overhead fraction), how fast does the pipeline
+// move events (events/sec), and how much memory does the tracer actually
+// hold (the sink high-water mark, which must stay at the stream buffer size
+// no matter how many bytes pass through). Rates and fractions come from the
+// wall clock, so only their ratios are meaningful across hosts; event and
+// byte counts are deterministic.
+
+// ObsScaleConfig configures the sweep.
+type ObsScaleConfig struct {
+	// Points are the per-size scenario configs (servers, mix, horizon).
+	Points []ScaleTraceConfig
+	// Repeats takes the minimum wall time over this many runs per mode to
+	// damp scheduler noise (default 3: the overhead budget compares two
+	// minima, so each must actually reach the host's floor).
+	Repeats int
+}
+
+// DefaultObsScaleConfig returns the committed sweep: the 1k-server
+// determinism-contract point at full fidelity, and a 10k-server point with
+// the same workload mix under the top-K candidate control. Full decision
+// payloads record every ranked server — O(servers) per decision, ~760 MB of
+// trace at 10k servers, several times the cost of the run itself — so the
+// at-scale operating point caps rankings at 20 candidates (plus every pick),
+// which is what the trace header then reports. The 1k point stays uncapped
+// to witness full-fidelity cost at the determinism-contract scale.
+func DefaultObsScaleConfig() ObsScaleConfig {
+	base := DefaultScaleTraceConfig()
+	big := base
+	big.Servers = 10000
+	big.TraceTopK = 20
+	return ObsScaleConfig{Points: []ScaleTraceConfig{base, big}, Repeats: 3}
+}
+
+// QuickObsScaleConfig returns the CI smoke sweep: one small point, enough to
+// exercise the full measure path in seconds.
+func QuickObsScaleConfig() ObsScaleConfig {
+	return ObsScaleConfig{
+		Points: []ScaleTraceConfig{{
+			Servers: 100, Services: 5, Single: 60, BestEffort: 400,
+			SubmitGap: 0.05, HorizonSecs: 120, Seed: 20260808,
+		}},
+		Repeats: 1,
+	}
+}
+
+// ObsScalePoint is one measured sweep point.
+type ObsScalePoint struct {
+	Servers   int `json:"servers"`
+	Workloads int `json:"workloads"`
+	// TraceTopK is the candidate-truncation control the traced run recorded
+	// under (0 = full fidelity); it is also in the trace header.
+	TraceTopK int `json:"trace_top_k,omitempty"`
+	// UntracedSecs and TracedSecs are minimum-of-Repeats wall times.
+	UntracedSecs float64 `json:"untraced_secs"`
+	TracedSecs   float64 `json:"traced_secs"`
+	// OverheadFrac is (traced - untraced) / untraced.
+	OverheadFrac float64 `json:"overhead_frac"`
+	// Events is the deterministic accepted-event count of the traced run.
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// TraceBytes is the total JSONL bytes streamed out.
+	TraceBytes int64 `json:"trace_bytes"`
+	// TracerHighWaterBytes is the maximum memory the trace pipeline retained
+	// at any moment — for a streaming sink, its flush buffer, regardless of
+	// TraceBytes. This is the bounded-memory claim in one number.
+	TracerHighWaterBytes int `json:"tracer_high_water_bytes"`
+}
+
+// ObsScaleResult is the sweep record committed as BENCH_obs_scale.json.
+type ObsScaleResult struct {
+	CPUs       int             `json:"cpus"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Repeats    int             `json:"repeats"`
+	Points     []ObsScalePoint `json:"points"`
+}
+
+// obsScaleOverheadBudget is the enforced ceiling on trace overhead at the
+// 10k-server point: streaming a trace at that point's recorded controls
+// (top-K-capped decision payloads; everything else full fidelity) must cost
+// less than 10% of the untraced run.
+const obsScaleOverheadBudget = 0.10
+
+// Check enforces the observability-at-scale contract: trace overhead under
+// the budget at 10k servers, and tracer memory bounded (high-water no larger
+// than the stream buffer plus the per-event scratch) at every point.
+func (r *ObsScaleResult) Check() error {
+	for _, p := range r.Points {
+		if p.Servers >= 10000 && p.OverheadFrac >= obsScaleOverheadBudget {
+			return fmt.Errorf("obsscale: trace overhead %.1f%% at %d servers, budget is %.0f%%",
+				100*p.OverheadFrac, p.Servers, 100*obsScaleOverheadBudget)
+		}
+		if p.TraceBytes > 0 && int64(p.TracerHighWaterBytes) >= p.TraceBytes {
+			return fmt.Errorf("obsscale: tracer high water %d bytes >= trace size %d at %d servers — memory is not bounded",
+				p.TracerHighWaterBytes, p.TraceBytes, p.Servers)
+		}
+	}
+	return nil
+}
+
+// ObsScale runs the sweep.
+func ObsScale(cfg ObsScaleConfig) (*ObsScaleResult, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 3
+	}
+	res := &ObsScaleResult{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Repeats:    cfg.Repeats,
+	}
+	for _, pt := range cfg.Points {
+		p := ObsScalePoint{Servers: pt.Servers, Workloads: pt.Workloads(), TraceTopK: pt.TraceTopK}
+		for i := 0; i < cfg.Repeats; i++ {
+			start := wallClock()
+			if _, err := runScaleScenario(pt, false, nil); err != nil {
+				return nil, err
+			}
+			elapsed := wallClock().Sub(start).Seconds()
+			if i == 0 || elapsed < p.UntracedSecs {
+				p.UntracedSecs = elapsed
+			}
+		}
+		for i := 0; i < cfg.Repeats; i++ {
+			sink := obs.NewStreamSinkWriter(io.Discard)
+			start := wallClock()
+			s, err := runScaleScenario(pt, true, []obs.Sink{sink})
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Tracer.Close(); err != nil {
+				return nil, err
+			}
+			elapsed := wallClock().Sub(start).Seconds()
+			if i == 0 || elapsed < p.TracedSecs {
+				p.TracedSecs = elapsed
+			}
+			p.Events = s.Tracer.Len()
+			p.TraceBytes = sink.BytesWritten()
+			_, high := s.Tracer.RetainedBytes()
+			p.TracerHighWaterBytes = high
+		}
+		if p.UntracedSecs > 0 {
+			p.OverheadFrac = (p.TracedSecs - p.UntracedSecs) / p.UntracedSecs
+		}
+		if p.TracedSecs > 0 {
+			p.EventsPerSec = float64(p.Events) / p.TracedSecs
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *ObsScaleResult) Print(w io.Writer) {
+	fprintf(w, "== Trace pipeline at scale (%d CPUs, min of %d) ==\n", r.CPUs, r.Repeats)
+	fprintf(w, "%8s %9s %6s %11s %11s %9s %12s %12s %10s\n",
+		"servers", "workloads", "topk", "untraced", "traced", "overhead", "events/sec", "trace bytes", "high water")
+	for _, p := range r.Points {
+		topk := "full"
+		if p.TraceTopK > 0 {
+			topk = fmt.Sprintf("%d", p.TraceTopK)
+		}
+		fprintf(w, "%8d %9d %6s %10.3fs %10.3fs %8.1f%% %12.0f %12d %10d\n",
+			p.Servers, p.Workloads, topk, p.UntracedSecs, p.TracedSecs,
+			100*p.OverheadFrac, p.EventsPerSec, p.TraceBytes, p.TracerHighWaterBytes)
+	}
+}
+
+// WriteJSON writes the result to path.
+func (r *ObsScaleResult) WriteJSON(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"quasar/internal/par"
+)
+
+// TestStreamedTraceMatchesBufferedAcrossWorkers is the streaming pipeline's
+// half of the determinism contract at scale: at the 1k-server point, the
+// JSONL file a StreamSink writes incrementally must be byte-identical to the
+// buffered WriteJSONL export, for every worker count. A divergence here means
+// the sink pipeline — not the event stream — broke determinism.
+func TestStreamedTraceMatchesBufferedAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the at-scale scenario once buffered plus once per worker count")
+	}
+	cfg := DefaultScaleTraceConfig()
+	want, err := ScaleTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("buffered at-scale run emitted an empty trace")
+	}
+	for _, w := range workerMatrix() {
+		par.SetDefaultWorkers(w)
+		var buf bytes.Buffer
+		n, err := ScaleTraceStreamed(cfg, &buf)
+		par.SetDefaultWorkers(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("workers=%d: BytesWritten %d != buffer length %d", w, n, buf.Len())
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("workers=%d: streamed trace diverged from buffered at byte %d of %d",
+				w, diffAt(want, buf.Bytes()), len(want))
+		}
+	}
+}
+
+// TestObsScaleQuick exercises the full measure path at smoke size and checks
+// the invariants that hold at any scale: events flowed, bytes streamed, and
+// the pipeline's high-water memory stayed far below the trace size.
+func TestObsScaleQuick(t *testing.T) {
+	res, err := ObsScale(QuickObsScaleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("quick sweep produced %d points", len(res.Points))
+	}
+	p := res.Points[0]
+	if p.Events == 0 || p.TraceBytes == 0 {
+		t.Fatalf("traced run recorded nothing: %+v", p)
+	}
+	if p.TracedSecs <= 0 || p.UntracedSecs <= 0 {
+		t.Fatalf("timings missing: %+v", p)
+	}
+	if int64(p.TracerHighWaterBytes) >= p.TraceBytes {
+		t.Fatalf("tracer high water %d not bounded below trace size %d",
+			p.TracerHighWaterBytes, p.TraceBytes)
+	}
+}
+
+// TestObsScaleBaselineFile keeps the committed BENCH_obs_scale.json honest:
+// it must parse, cover the default sweep points, and itself satisfy the
+// observability-at-scale contract — under 10% trace overhead at 10k servers
+// with bounded tracer memory.
+func TestObsScaleBaselineFile(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_obs_scale.json")
+	if err != nil {
+		t.Fatalf("BENCH_obs_scale.json missing (regenerate with quasar-bench obsscale): %v", err)
+	}
+	var base ObsScaleResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultObsScaleConfig()
+	if len(base.Points) != len(want.Points) {
+		t.Fatalf("baseline has %d points, default sweep has %d — regenerate", len(base.Points), len(want.Points))
+	}
+	has10k := false
+	for i, p := range base.Points {
+		if p.Servers != want.Points[i].Servers || p.Workloads != want.Points[i].Workloads() ||
+			p.TraceTopK != want.Points[i].TraceTopK {
+			t.Errorf("baseline point %d is (%d servers, %d workloads, topk %d), default sweep says (%d, %d, %d) — regenerate",
+				i, p.Servers, p.Workloads, p.TraceTopK,
+				want.Points[i].Servers, want.Points[i].Workloads(), want.Points[i].TraceTopK)
+		}
+		if p.Servers >= 10000 {
+			has10k = true
+		}
+	}
+	if !has10k {
+		t.Fatal("baseline lacks a 10k-server point — the overhead budget is unenforced")
+	}
+	if err := base.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

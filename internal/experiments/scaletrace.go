@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"io"
 
 	"quasar/internal/loadgen"
 	"quasar/internal/obs"
@@ -23,6 +24,11 @@ type ScaleTraceConfig struct {
 	SubmitGap   float64 // simulated seconds between submissions
 	HorizonSecs float64 // simulated seconds to run
 	Seed        int64
+	// TraceTopK, when > 0, runs the traced variants under the top-K
+	// candidate-truncation control (recorded in the trace header). Full
+	// decision payloads are O(servers) per decision, so the 10k-server
+	// observability point caps them; 0 keeps full fidelity.
+	TraceTopK int
 }
 
 // DefaultScaleTraceConfig returns the committed contract point: 1k servers,
@@ -42,12 +48,18 @@ func DefaultScaleTraceConfig() ScaleTraceConfig {
 // Workloads returns the total submission count of the config.
 func (c ScaleTraceConfig) Workloads() int { return c.Services + c.Single + c.BestEffort }
 
-// ScaleTrace builds the scenario, submits the mix, runs the horizon, and
-// returns the JSONL trace bytes.
-func ScaleTrace(cfg ScaleTraceConfig) ([]byte, error) {
+// runScaleScenario builds the scenario (traced through the given sinks, or
+// with the default buffer when sinks is nil and traced is set), submits the
+// mix, and runs the horizon. All ScaleTrace variants and the obsscale
+// benchmark share this path so they measure and compare the same run.
+func runScaleScenario(cfg ScaleTraceConfig, traced bool, sinks []obs.Sink) (*Scenario, error) {
+	var ctl *obs.Controls
+	if cfg.TraceTopK > 0 {
+		ctl = &obs.Controls{TopK: cfg.TraceTopK}
+	}
 	s, err := NewScenario(ScenarioConfig{
 		Servers: cfg.Servers, Manager: KindQuasar, Seed: cfg.Seed,
-		MaxNodes: 4, SeedLib: 3, Trace: true,
+		MaxNodes: 4, SeedLib: 3, Trace: traced, TraceSinks: sinks, TraceControls: ctl,
 	})
 	if err != nil {
 		return nil, err
@@ -72,10 +84,36 @@ func ScaleTrace(cfg ScaleTraceConfig) ([]byte, error) {
 	}
 	s.RT.Run(cfg.HorizonSecs)
 	s.RT.Stop()
+	return s, nil
+}
 
+// ScaleTrace builds the scenario, submits the mix, runs the horizon, and
+// returns the JSONL trace bytes from the buffered exporter.
+func ScaleTrace(cfg ScaleTraceConfig) ([]byte, error) {
+	s, err := runScaleScenario(cfg, true, nil)
+	if err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
 	if err := obs.WriteJSONL(&buf, s.Tracer); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// ScaleTraceStreamed runs the same scenario with the trace streaming
+// incrementally to w through a StreamSink — bounded memory regardless of
+// trace size — and returns the bytes written. The output must be
+// byte-identical to ScaleTrace's for the same config, which the worker-matrix
+// identity test and the trace-diff-stream lane assert.
+func ScaleTraceStreamed(cfg ScaleTraceConfig, w io.Writer) (int64, error) {
+	sink := obs.NewStreamSinkWriter(w)
+	s, err := runScaleScenario(cfg, true, []obs.Sink{sink})
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Tracer.Close(); err != nil {
+		return 0, err
+	}
+	return sink.BytesWritten(), nil
 }

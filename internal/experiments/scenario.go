@@ -120,6 +120,16 @@ type ScenarioConfig struct {
 	Misestimate bool // reservation misestimation for baseline kinds
 	Trace       bool // collect a structured event trace of the run
 	SLO         bool // attach the SLO monitoring engine (works with or without Trace)
+	// TraceSinks, when non-empty (and Trace is set), replaces the default
+	// in-memory buffer with this sink pipeline — e.g. a StreamSink spilling
+	// to disk, or a RingSink flight recorder, to keep memory bounded at
+	// scale. Without a BufferSink in the list the whole-trace exporters
+	// (Chrome, Prometheus) are unavailable.
+	TraceSinks []obs.Sink
+	// TraceControls, when non-nil, installs deterministic trace controls
+	// (level filters, workload sampling, top-K truncation) before the first
+	// event, so they are recorded in the trace header.
+	TraceControls *obs.Controls
 }
 
 // NewScenario builds the world.
@@ -151,7 +161,14 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 
 	s := &Scenario{RT: rt, U: u}
 	if cfg.Trace {
-		s.Tracer = obs.New(rt.Eng.Now)
+		if len(cfg.TraceSinks) > 0 {
+			s.Tracer = obs.NewWithSinks(rt.Eng.Now, cfg.TraceSinks...)
+		} else {
+			s.Tracer = obs.New(rt.Eng.Now)
+		}
+		if cfg.TraceControls != nil {
+			s.Tracer.SetControls(*cfg.TraceControls)
+		}
 	}
 	lib := libraryFor(u, cfg.SeedLib)
 	switch cfg.Manager {

@@ -60,11 +60,14 @@ type ScheduleDecision struct {
 	AcceptPartial bool        `json:"accept_partial,omitempty"`
 	MaxCost       float64     `json:"max_cost_per_hour,omitempty"`
 	Candidates    []Candidate `json:"candidates"`
-	Picks         []NodePick  `json:"picks,omitempty"`
-	EstPerf       float64     `json:"est_perf"`
-	CostPerHour   float64     `json:"cost_per_hour,omitempty"`
-	Evictions     []string    `json:"evictions,omitempty"`
-	Outcome       string      `json:"outcome"`
+	// CandidatesDropped counts ranking entries removed by top-K trace
+	// truncation (0 when the full ranking is recorded).
+	CandidatesDropped int        `json:"candidates_dropped,omitempty"`
+	Picks             []NodePick `json:"picks,omitempty"`
+	EstPerf           float64    `json:"est_perf"`
+	CostPerHour       float64    `json:"cost_per_hour,omitempty"`
+	Evictions         []string   `json:"evictions,omitempty"`
+	Outcome           string     `json:"outcome"`
 }
 
 // PickedServers returns the chosen server IDs.

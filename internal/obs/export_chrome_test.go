@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeDoc decodes a trace_event document far enough for structural
+// assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Tid  int     `json:"tid"`
+		ID   string  `json:"id"`
+	} `json:"traceEvents"`
+}
+
+func exportChrome(t *testing.T, tr *Tracer) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+// phases returns the non-metadata events matching name, in order.
+func (d chromeDoc) phases(name string) []string {
+	var out []string
+	for _, ev := range d.TraceEvents {
+		if ev.Name == name {
+			out = append(out, ev.Ph)
+		}
+	}
+	return out
+}
+
+func TestChromeUnbalancedSyncSpans(t *testing.T) {
+	// A crashed run can leave a Begin without its End, and a malformed
+	// instrumentation site can emit an End with no opener. The exporter's job
+	// is faithful transcription: both records survive into valid JSON for the
+	// viewer to flag, rather than panicking or silently repairing the stream.
+	now := 0.0
+	tr := New(func() float64 { return now })
+	tr.Begin("manager", "sched", "outer")
+	now = 1
+	tr.Begin("manager", "sched", "never-closed")
+	now = 2
+	tr.End("manager", "sched", "outer") // closes out of order; never-closed dangles
+	tr.End("manager", "sched", "orphan-end")
+
+	doc := exportChrome(t, tr)
+	if got := doc.phases("never-closed"); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("dangling Begin rendered as %v, want [B]", got)
+	}
+	if got := doc.phases("orphan-end"); len(got) != 1 || got[0] != "E" {
+		t.Fatalf("orphan End rendered as %v, want [E]", got)
+	}
+	if got := doc.phases("outer"); len(got) != 2 || got[0] != "B" || got[1] != "E" {
+		t.Fatalf("balanced span rendered as %v, want [B E]", got)
+	}
+}
+
+func TestChromeDanglingAsyncSpans(t *testing.T) {
+	now := 0.0
+	tr := New(func() float64 { return now })
+	tr.BeginAsync("w0@1", "server/1", "place", "w0")
+	now = 5
+	tr.EndAsync("w9@1", "server/1", "place", "w9") // end with no begin
+	// w0@1 never ends: the placement was live when the trace stopped.
+
+	doc := exportChrome(t, tr)
+	var begins, ends int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "b" && ev.ID == "w0@1":
+			begins++
+		case ev.Ph == "e" && ev.ID == "w9@1":
+			ends++
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("dangling async pair lost: begins=%d ends=%d, want 1 and 1", begins, ends)
+	}
+	// Both events share the server track; its thread metadata must exist
+	// even though no balanced span ever completed on it.
+	foundTrack := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "thread_name" {
+			foundTrack = true
+		}
+	}
+	if !foundTrack {
+		t.Fatal("no thread_name metadata emitted")
+	}
+}

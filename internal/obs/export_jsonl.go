@@ -9,11 +9,15 @@ import (
 )
 
 // The JSONL export is the canonical machine-readable log: one JSON object per
-// line, events first (in sequence order), then one line per registered
-// metrics container. Field order is fixed by DTO struct declaration order and
-// Args marshal as an object in emission order, so the file is byte-identical
-// across runs and worker counts. cmd/quasar-trace reconstructs runs from this
-// format alone.
+// line — a header line first (the format version and the trace controls the
+// run recorded under), then events in sequence order, then one line per
+// registered metrics container. Field order is fixed by DTO struct
+// declaration order and Args marshal as an object in emission order, so the
+// file is byte-identical across runs and worker counts. The buffered
+// WriteJSONL and the incremental StreamSink share the per-line encoders
+// below, which is what makes a streamed file byte-identical to a buffered
+// export of the same run. cmd/quasar-trace reconstructs runs from this format
+// alone.
 
 // argsObject marshals an ordered Arg slice as a JSON object, preserving the
 // emission-site key order.
@@ -70,41 +74,63 @@ type jsonlMetric struct {
 	Value  any    `json:"value"`
 }
 
-// WriteJSONL writes the full trace — events, then registry metrics — to w.
-func WriteJSONL(w io.Writer, t *Tracer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for i := range t.Events() {
-		ev := &t.Events()[i]
-		if err := enc.Encode(jsonlEvent{
-			Seq: ev.Seq, T: ev.Time, Ph: string(ev.Phase), ID: ev.ID,
-			Cat: ev.Cat, Name: ev.Name, Track: ev.Track, Args: argsObject(ev.Args),
-		}); err != nil {
+// encodeEventLine writes one event line; the single encoder both WriteJSONL
+// and StreamSink use, so their bytes cannot diverge.
+func encodeEventLine(enc *json.Encoder, ev *Event) error {
+	return enc.Encode(jsonlEvent{
+		Seq: ev.Seq, T: ev.Time, Ph: string(ev.Phase), ID: ev.ID,
+		Cat: ev.Cat, Name: ev.Name, Track: ev.Track, Args: argsObject(ev.Args),
+	})
+}
+
+// writeRegistryLines appends the registry's metric lines in registration
+// order (shared by WriteJSONL and StreamSink.Close).
+func writeRegistryLines(enc *json.Encoder, reg *Registry) error {
+	if reg == nil {
+		return nil
+	}
+	for i := range reg.entries {
+		e := &reg.entries[i]
+		m := jsonlMetric{Metric: e.name, Help: e.help}
+		switch e.kind {
+		case kindCounter:
+			m.Kind, m.Value = "counter", e.counter.Value()
+		case kindGauge:
+			m.Kind, m.Value = "gauge", e.gauge()
+		case kindSeries:
+			m.Kind, m.Value = "series", e.series
+		case kindDistribution:
+			m.Kind, m.Value = "distribution", e.dist
+		case kindHistogram:
+			m.Kind, m.Value = "histogram", e.hist
+		case kindHeatmap:
+			m.Kind, m.Value = "heatmap", e.heat
+		}
+		if err := enc.Encode(m); err != nil {
 			return err
 		}
 	}
-	if reg := t.Registry(); reg != nil {
-		for i := range reg.entries {
-			e := &reg.entries[i]
-			m := jsonlMetric{Metric: e.name, Help: e.help}
-			switch e.kind {
-			case kindCounter:
-				m.Kind, m.Value = "counter", e.counter.Value()
-			case kindGauge:
-				m.Kind, m.Value = "gauge", e.gauge()
-			case kindSeries:
-				m.Kind, m.Value = "series", e.series
-			case kindDistribution:
-				m.Kind, m.Value = "distribution", e.dist
-			case kindHistogram:
-				m.Kind, m.Value = "histogram", e.hist
-			case kindHeatmap:
-				m.Kind, m.Value = "heatmap", e.heat
-			}
-			if err := enc.Encode(m); err != nil {
-				return err
-			}
+	return nil
+}
+
+// WriteJSONL writes the full trace — header, events, then registry metrics —
+// to w from a buffered tracer. Byte-identical to what a StreamSink produced
+// incrementally for the same run.
+func WriteJSONL(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := t.Header()
+	if err := enc.Encode(&h); err != nil {
+		return err
+	}
+	events := t.Events()
+	for i := range events {
+		if err := encodeEventLine(enc, &events[i]); err != nil {
+			return err
 		}
+	}
+	if err := writeRegistryLines(enc, t.Registry()); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -122,30 +148,95 @@ type RawEvent struct {
 	Args  json.RawMessage `json:"args"`
 }
 
-// ReadJSONL parses a JSONL trace, returning events and skipping the trailing
-// metric lines (lines without a "seq" field).
-func ReadJSONL(r io.Reader) ([]RawEvent, error) {
-	var out []RawEvent
+// RawMetric is the decoded form of one trailing metric line, with the value
+// left raw for callers to project into the container shape Kind names.
+type RawMetric struct {
+	Name  string          `json:"metric"`
+	Kind  string          `json:"kind"`
+	Help  string          `json:"help"`
+	Value json.RawMessage `json:"value"`
+}
+
+// StreamJSONL scans a JSONL trace incrementally, invoking fn for each event
+// line without ever holding more than one line in memory — how quasar-trace
+// summarizes multi-gigabyte traces. The returned header is the parsed first
+// line when present (headerless pre-v2 traces return nil). Metric lines are
+// skipped. fn returning an error aborts the scan with that error.
+func StreamJSONL(r io.Reader, fn func(ev *RawEvent) error) (*Header, error) {
+	return ScanJSONL(r, fn, nil)
+}
+
+// ScanJSONL is StreamJSONL with the trailing metric lines also delivered,
+// to onMetric (skipped when nil). Either callback returning an error aborts
+// the scan with that error.
+func ScanJSONL(r io.Reader, onEvent func(ev *RawEvent) error, onMetric func(m *RawMetric) error) (*Header, error) {
+	var header *Header
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	line := 0
+	line, seen := 0, 0
 	for sc.Scan() {
 		line++
 		b := sc.Bytes()
 		if len(b) == 0 {
 			continue
 		}
+		seen++
 		var ev RawEvent
 		if err := json.Unmarshal(b, &ev); err != nil {
-			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+			return header, fmt.Errorf("obs: jsonl line %d: %w", line, err)
 		}
 		if ev.Seq == 0 {
-			continue // metric line
+			if seen == 1 {
+				var h Header
+				if json.Unmarshal(b, &h) == nil && h.Trace == headerMagic {
+					header = &h
+					continue
+				}
+			}
+			if onMetric != nil {
+				var m RawMetric
+				if err := json.Unmarshal(b, &m); err != nil {
+					return header, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+				}
+				if m.Name != "" {
+					if err := onMetric(&m); err != nil {
+						return header, err
+					}
+				}
+			}
+			continue // header or metric line
 		}
-		out = append(out, ev)
+		if err := onEvent(&ev); err != nil {
+			return header, err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return header, err
 	}
-	return out, nil
+	return header, nil
+}
+
+// ReadHeader parses just the leading header line of a JSONL trace (nil for a
+// headerless trace).
+func ReadHeader(r io.Reader) (*Header, error) {
+	h, err := StreamJSONL(io.LimitReader(r, 1<<20), func(*RawEvent) error { return errStopScan })
+	if err == errStopScan {
+		err = nil
+	}
+	return h, err
+}
+
+// errStopScan is ReadHeader's internal early-exit sentinel.
+var errStopScan = fmt.Errorf("obs: stop scan")
+
+// ReadJSONL parses a whole JSONL trace into memory, returning events and
+// skipping the header and trailing metric lines (lines without a "seq"
+// field). Use StreamJSONL when the trace may not fit.
+func ReadJSONL(r io.Reader) ([]RawEvent, error) {
+	var out []RawEvent
+	_, err := StreamJSONL(r, func(ev *RawEvent) error {
+		out = append(out, *ev)
+		return nil
+	})
+	return out, err
 }

@@ -43,10 +43,11 @@ func (s *Shard) Instant(track, cat, name string, args ...Arg) {
 	})
 }
 
-// Merge appends the shards' buffered events to the parent stream in input
-// order, assigning final sequence numbers. Call it after the fan-out has
-// fully drained (par.ParFor returns only then). Nil shards and a nil tracer
-// are tolerated.
+// Merge routes the shards' buffered events into the parent pipeline in input
+// order: each passes through the tracer's controls, gets a final sequence
+// number, and fans out to the sinks, exactly as a direct emission would.
+// Call it after the fan-out has fully drained (par.ParFor returns only then).
+// Nil shards and a nil tracer are tolerated.
 func (t *Tracer) Merge(shards []*Shard) {
 	if t == nil {
 		return
@@ -56,11 +57,8 @@ func (t *Tracer) Merge(shards []*Shard) {
 			continue
 		}
 		for i := range s.events {
-			ev := s.events[i]
-			t.seq++
-			ev.Seq = t.seq
-			//lint:allow(hotalloc) the parent stream retains the trace by design; growth is the recorded data itself
-			t.events = append(t.events, ev)
+			ev := &s.events[i]
+			t.emit(ev.Time, ev.Phase, ev.ID, ev.Track, ev.Cat, ev.Name, ev.Args)
 		}
 		s.events = nil
 	}

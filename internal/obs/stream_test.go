@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// driveTrace emits a fixed event sequence plus registry entries into tr.
+// Every sink configuration in these tests replays the same sequence, so any
+// byte difference between their outputs is a pipeline bug, not input skew.
+func driveTrace(tr *Tracer) {
+	now := 0.0
+	tr.clock = func() float64 { return now }
+	tr.Instant("manager", "sched", "admit", Arg{Key: "workload", Val: "w0"})
+	tr.BeginAsync("w0@2", "server/2", "place", "w0",
+		Arg{Key: "cores", Val: 4}, Arg{Key: "quality", Val: 0.75})
+	now = 10
+	tr.Begin("manager", "sched", "decision")
+	now = 12.5
+	tr.End("manager", "sched", "decision")
+	tr.EndAsync("w0@2", "server/2", "place", "w0")
+	tr.Counter("cluster", "util", "servers_busy", Arg{Key: "busy", Val: 3})
+	tr.Instant("workload/w0", "qos", "met")
+
+	reg := tr.Registry()
+	reg.Counter("decisions_total", "scheduler decisions").Add(2)
+	reg.Gauge("queue_len", "queue length", func() float64 { return 1 })
+}
+
+func TestStreamSinkByteIdentity(t *testing.T) {
+	buffered := New(nil)
+	driveTrace(buffered)
+	var want bytes.Buffer
+	if err := WriteJSONL(&want, buffered); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	streamed := NewWithSinks(nil, NewStreamSinkWriter(&got))
+	driveTrace(streamed)
+	if err := streamed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("streamed JSONL differs from buffered WriteJSONL:\n--- streamed ---\n%s--- buffered ---\n%s",
+			got.String(), want.String())
+	}
+}
+
+func TestStreamSinkFileFinalize(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "trace.jsonl")
+	sink, err := NewStreamSink(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewWithSinks(nil, sink)
+	driveTrace(tr)
+
+	// Mid-run the bytes live in a temp file; the destination must not exist
+	// until Close renames it into place, so a crashed run never leaves a
+	// half-written trace under the advertised name.
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatalf("destination %s exists before Close (err=%v)", dst, err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered := New(nil)
+	driveTrace(buffered)
+	var want bytes.Buffer
+	if err := WriteJSONL(&want, buffered); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("finalized file differs from buffered WriteJSONL")
+	}
+	if sink.BytesWritten() != int64(len(got)) {
+		t.Fatalf("BytesWritten = %d, file has %d bytes", sink.BytesWritten(), len(got))
+	}
+	// The temp file is gone after the rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind after finalize", e.Name())
+		}
+	}
+	// Close is idempotent.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamSinkDiscard(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "trace.jsonl")
+	sink, err := NewStreamSink(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewWithSinks(nil, sink)
+	driveTrace(tr)
+	sink.Discard()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("Discard left %d files in %s", len(entries), dir)
+	}
+}
+
+func TestStreamSinkEmptyTrace(t *testing.T) {
+	// A trace with no events still finalizes to a valid file: header line
+	// plus registry metric lines, so readers can tell "ran and recorded
+	// nothing" from "never ran".
+	var buf bytes.Buffer
+	tr := NewWithSinks(nil, NewStreamSinkWriter(&buf))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == nil || h.Trace != headerMagic || h.Version != 2 {
+		t.Fatalf("empty trace header = %+v", h)
+	}
+	evs, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("empty trace decoded %d events", len(evs))
+	}
+}
+
+func TestStreamSinkBoundedMemory(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewStreamSinkWriter(&buf)
+	tr := NewWithSinks(nil, sink)
+	for i := 0; i < 5000; i++ {
+		tr.Instant("manager", "runtime", "tick", Arg{Key: "i", Val: i})
+	}
+	cur, high := sink.RetainedBytes()
+	if cur > streamBufBytes || high > streamBufBytes {
+		t.Fatalf("stream sink retains cur=%d high=%d, want <= buffer size %d", cur, high, streamBufBytes)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no bytes written")
+	}
+}
+
+func TestRingSinkBound(t *testing.T) {
+	const capacity = 8
+	ring := NewRingSink(capacity)
+	tr := NewWithSinks(nil, ring)
+	var plateau int
+	for i := 0; i < 100; i++ {
+		tr.Instant("manager", "runtime", "tick", Arg{Key: "note", Val: "x"})
+		if i == 2*capacity {
+			plateau, _ = ring.RetainedBytes()
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Emitted() != 100 {
+		t.Fatalf("Emitted = %d, want 100", ring.Emitted())
+	}
+	evs := ring.Events()
+	if len(evs) != capacity {
+		t.Fatalf("ring holds %d events, want %d", len(evs), capacity)
+	}
+	// Oldest-first: the survivors are the last `capacity` emissions.
+	for i, ev := range evs {
+		want := uint64(100 - capacity + i + 1)
+		if ev.Seq != want {
+			t.Fatalf("ring event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	// Identical-size events: retained bytes plateau once the ring is full
+	// instead of growing with the emission count.
+	cur, high := ring.RetainedBytes()
+	if cur != plateau || high != plateau {
+		t.Fatalf("ring retained cur=%d high=%d, want plateau %d", cur, high, plateau)
+	}
+}

@@ -100,6 +100,7 @@ func TestShardMergeDeterministic(t *testing.T) {
 func TestRegistryOrderAndRedefinition(t *testing.T) {
 	tr := New(nil)
 	reg := tr.Registry()
+	base := reg.Len() // the tracer self-meters (tracer_events/bytes/dropped)
 	c := reg.Counter("decisions_total", "scheduling decisions")
 	reg.Gauge("queue_len", "admission queue length", func() float64 { return 7 })
 	c.Inc()
@@ -112,8 +113,8 @@ func TestRegistryOrderAndRedefinition(t *testing.T) {
 	}
 	// Re-registering a gauge replaces in place without reordering.
 	reg.Gauge("queue_len", "replaced", func() float64 { return 9 })
-	if reg.Len() != 2 {
-		t.Fatalf("registry len %d, want 2", reg.Len())
+	if reg.Len() != base+2 {
+		t.Fatalf("registry len %d, want %d", reg.Len(), base+2)
 	}
 	var buf bytes.Buffer
 	if err := WritePromSnapshot(&buf, tr); err != nil {

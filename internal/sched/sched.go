@@ -15,6 +15,7 @@ import (
 	"quasar/internal/classify"
 	"quasar/internal/cluster"
 	"quasar/internal/obs"
+	"quasar/internal/obs/prof"
 	"quasar/internal/workload"
 )
 
@@ -114,6 +115,10 @@ type Scheduler struct {
 	// Tracer, when non-nil, receives one decision event per Schedule call
 	// carrying the full candidate ranking and the chosen assignment.
 	Tracer *obs.Tracer
+
+	// Prof, when non-nil, attributes Schedule's wall time to prof.SubSched.
+	// Outside the determinism boundary; see internal/obs/prof.
+	Prof *prof.Profiler
 
 	// candBuf, srvScratch, and zoneScratch are reused across Schedule calls
 	// so ranking does not reallocate per decision. The scheduler is driven
@@ -476,6 +481,22 @@ func (s *Scheduler) emitDecision(req *Request, want float64, cands []candidate, 
 			})
 		}
 	}
+	// Full rankings scale with cluster size — O(servers) per decision on an
+	// unpacked cluster — so when the tracer's controls cap candidates, build
+	// only what truncation would keep: the first TopK in rank order plus
+	// every picked server, recording the drop count up front. The payload is
+	// byte-identical to truncating the full build; this just skips
+	// materializing thousands of candidates that truncate would discard.
+	if k := s.Tracer.Controls().TopK; k > 0 && len(cands) > k {
+		kept := cands[:k:k]
+		for _, c := range cands[k:] {
+			if picked[c.server.ID] {
+				kept = append(kept, c)
+			}
+		}
+		d.CandidatesDropped = len(cands) - len(kept)
+		cands = kept
+	}
 	for _, c := range cands {
 		d.Candidates = append(d.Candidates, obs.Candidate{
 			Server: c.server.ID, Platform: c.server.Platform.Name,
@@ -495,6 +516,8 @@ func (s *Scheduler) emitDecision(req *Request, want float64, cands []candidate, 
 // cluster; the caller places the returned nodes (after performing the
 // returned evictions).
 func (s *Scheduler) Schedule(req *Request) (*Assignment, error) {
+	t0 := s.Prof.Begin()
+	defer s.Prof.End(prof.SubSched, t0)
 	if req.NeedPerf <= 0 {
 		if s.Tracer.Enabled() {
 			s.emitDecision(req, 0, nil, nil, obs.OutcomeBadRequest)

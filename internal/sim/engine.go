@@ -15,6 +15,8 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"quasar/internal/obs/prof"
 )
 
 // EventID identifies a scheduled event so it can be cancelled.
@@ -55,6 +57,11 @@ type Engine struct {
 	// count is bounded only by virtual time, and one heap object per event
 	// was the engine's dominant allocation.
 	free []*event
+	// Prof, when non-nil, attributes the queue machinery's wall time (pop,
+	// clock advance, recycling — not the callbacks) to prof.SubSimStep. It
+	// lives outside the determinism boundary: nothing it measures feeds back
+	// into scheduling.
+	Prof *prof.Profiler
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events,
@@ -151,8 +158,10 @@ func (e *Engine) Pending() int { return e.q.len() }
 // Step fires the next event, advancing the clock to its time. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {
+	t0 := e.Prof.Begin()
 	ev := e.q.pop()
 	if ev == nil {
+		e.Prof.End(prof.SubSimStep, t0)
 		return false
 	}
 	delete(e.live, ev.id)
@@ -160,6 +169,10 @@ func (e *Engine) Step() bool {
 	e.fired++
 	fn := ev.fn
 	e.recycle(ev)
+	// Close the sim-step section before dispatch: the callback's time belongs
+	// to whichever subsystem it enters (runtime tick, scheduler, ...), not to
+	// the queue core.
+	e.Prof.End(prof.SubSimStep, t0)
 	fn()
 	return true
 }

@@ -4,6 +4,7 @@ import (
 	"quasar/internal/core"
 	"quasar/internal/metrics"
 	"quasar/internal/obs"
+	"quasar/internal/obs/prof"
 	"quasar/internal/par"
 	"quasar/internal/perfmodel"
 )
@@ -106,6 +107,10 @@ type Engine struct {
 	pagesFired     *obs.Counter
 	ticketsFired   *obs.Counter
 	alertsResolved *obs.Counter
+
+	// Prof, when non-nil, attributes the tick sweep's wall time to
+	// prof.SubSLO. Outside the determinism boundary; see internal/obs/prof.
+	Prof *prof.Profiler
 }
 
 // Attach builds an SLO engine over the runtime and subscribes it to the
@@ -198,6 +203,8 @@ func started(t *core.Task) bool {
 
 // onTick is the runtime tick listener: one monitoring sweep.
 func (e *Engine) onTick(now float64) {
+	t0 := e.Prof.Begin()
+	defer e.Prof.End(prof.SubSLO, t0)
 	// Build this tick's evaluation list in submission order. Best-effort
 	// workloads carry no guarantee, so they carry no SLO.
 	eval := e.evalBuf[:0]

@@ -43,4 +43,13 @@ func (e *Engine) Report(w io.Writer) {
 		fprintf(w, "  cluster health: %.3f latest, %.3f mean over run\n",
 			last, e.ClusterHealth.Mean())
 	}
+
+	// Trace memory, when tracing is on: the same numbers the tracer_events /
+	// tracer_bytes gauges export, plus what the sinks actually retain (a
+	// streaming sink holds only its flush buffer however large the trace).
+	if e.tr.Enabled() {
+		cur, high := e.tr.RetainedBytes()
+		fprintf(w, "  trace memory: %d events, %d bytes accepted; %d bytes retained (high water %d)\n",
+			e.tr.Len(), e.tr.BytesEstimate(), cur, high)
+	}
 }
