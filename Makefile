@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo bench-scale bench-obs-scale bench-obs-scale-quick trace-diff trace-diff-chaos trace-diff-slo trace-diff-scale trace-diff-stream fmt-check ci
+.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo bench-scale bench-obs-scale bench-obs-scale-quick bench-serve bench-serve-quick serve-smoke trace-diff trace-diff-chaos trace-diff-slo trace-diff-scale trace-diff-stream fmt-check ci
 
 all: build
 
@@ -67,6 +67,23 @@ bench-obs-scale:
 ## bench-obs-scale-quick: the CI smoke variant (one small point, no baseline refresh)
 bench-obs-scale-quick:
 	$(GO) run ./cmd/quasar-bench -quick -obsscale-out /tmp/quasar-obs-scale-quick.json obsscale
+
+## serve-smoke: end-to-end serve-mode self-test — live daemon + warm standby
+## tailing its journal, scripted HTTP client with wall-clock jitter, graceful
+## shutdown, then byte-identity and snapshot-verification checks
+serve-smoke:
+	$(GO) run ./cmd/quasar-serve -selftest
+
+## bench-serve: drive a live daemon with closed-loop clients, measure the warm
+## failover gap, refresh BENCH_serve.json, and fail below the 10k req/s floor
+## (in-process transport: the committed baseline isolates admission cost from
+## kernel TCP on the 1-CPU baseline host)
+bench-serve:
+	$(GO) run ./cmd/quasar-load -bench -inprocess -out BENCH_serve.json
+
+## bench-serve-quick: the CI smoke variant (short phases, rate gate waived)
+bench-serve-quick:
+	$(GO) run ./cmd/quasar-load -bench -quick -inprocess
 
 ## trace-diff: assert the trace is byte-identical across worker counts
 trace-diff:

@@ -1,0 +1,80 @@
+// Command quasar-load is the closed-loop load generator for quasar-serve.
+//
+// Benchmark mode spins up its own daemon, drives the admission API with
+// concurrent closed-loop clients, then measures the warm-failover gap with a
+// journal-tailing standby, and writes the committed baseline:
+//
+//	quasar-load -bench -out BENCH_serve.json
+//	quasar-load -bench -quick          # CI smoke profile (rate gate waived)
+//
+// Client mode drives an already-running daemon:
+//
+//	quasar-load -addr 127.0.0.1:7717 -clients 8 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quasar/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench     = flag.Bool("bench", false, "run the self-contained serve benchmark (rate + failover phases)")
+		quick     = flag.Bool("quick", false, "with -bench: short CI profile; throughput gate is waived")
+		inproc    = flag.Bool("inprocess", false, "with -bench: dispatch requests in-process instead of over loopback TCP")
+		out       = flag.String("out", "", "with -bench: write the JSON result here (e.g. BENCH_serve.json)")
+		wall      = flag.Float64("wall", 0, "with -bench: rate-phase duration in seconds (0 = profile default)")
+		benchSeed = flag.Int64("seed", 0, "with -bench: world seed (0 = default)")
+		addr      = flag.String("addr", "", "client mode: drive the daemon at this address")
+		clients   = flag.Int("clients", 0, "concurrent closed-loop clients (0 = profile default; client mode default 8)")
+		duration  = flag.Duration("duration", 10*time.Second, "client mode: how long to drive")
+	)
+	flag.Parse()
+
+	if *bench {
+		res, err := serve.ServeBench(serve.BenchConfig{
+			Quick: *quick, InProcess: *inproc,
+			Clients: *clients, WallSecs: *wall, Seed: *benchSeed,
+		})
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		if err := res.Check(); err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := res.WriteJSON(*out); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
+	}
+
+	if *addr == "" {
+		return fmt.Errorf("either -bench or -addr is required")
+	}
+	if *clients <= 0 {
+		*clients = 8
+	}
+	st, err := serve.Drive(*addr, *clients, *duration)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drove %s: %d requests in %.1fs (%.0f req/s, %d submits, %d errors)\n",
+		*addr, st.Requests, st.WallSecs, float64(st.Requests)/st.WallSecs, st.Submits, st.Errors)
+	fmt.Printf("admission latency: p50 %.0fus  p99 %.0fus\n", st.AdmitP50US, st.AdmitP99US)
+	return nil
+}

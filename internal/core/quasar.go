@@ -884,6 +884,40 @@ func (q *Quasar) proactiveProbe(now float64) {
 // QueueLen reports the admission-control queue length.
 func (q *Quasar) QueueLen() int { return len(q.queue) }
 
+// UpdateTarget replaces a workload's performance target at runtime — the
+// live re-negotiation a long-running manager needs (raise a service's QPS
+// floor, tighten a batch deadline) without resubmission. The class must not
+// change; monitoring picks the new constraint up on the next tick, and an
+// analytics deadline is re-anchored to the original submission time.
+func (q *Quasar) UpdateTarget(id string, target workload.Target) error {
+	t := q.rt.Task(id)
+	if t == nil {
+		return fmt.Errorf("core: target update for unknown task %s", id)
+	}
+	if t.W.BestEffort {
+		return fmt.Errorf("core: task %s is best-effort and has no target", id)
+	}
+	if target.Class != t.W.Type.Class() {
+		return fmt.Errorf("core: target class %v does not match task %s type %v",
+			target.Class, id, t.W.Type)
+	}
+	if err := target.Validate(); err != nil {
+		return err
+	}
+	t.W.Target = target
+	if st, ok := q.state[id]; ok && target.Class == perfmodel.Analytics {
+		st.deadline = t.SubmitAt + target.CompletionSecs
+	}
+	if q.tracer.Enabled() {
+		q.tracer.Instant(workloadTrack(id), "quasar", "target-update",
+			obs.Arg{Key: "completion_secs", Val: target.CompletionSecs},
+			obs.Arg{Key: "qps", Val: target.QPS},
+			obs.Arg{Key: "latency_us", Val: target.LatencyUS},
+			obs.Arg{Key: "ips", Val: target.IPS})
+	}
+	return nil
+}
+
 func minInt(a, b int) int {
 	if a < b {
 		return a

@@ -13,6 +13,7 @@ import (
 	"quasar/internal/obs"
 	"quasar/internal/par"
 	"quasar/internal/sched"
+	"quasar/internal/serve"
 	"quasar/internal/sim"
 	"quasar/internal/workload"
 )
@@ -94,6 +95,10 @@ var allocBudgets = map[string]float64{
 	// kept, despite the count, because hand-rolled escaping would put the
 	// byte-identity contract at risk (measured 15.0).
 	"tracer_emit": 20,
+	// One journaled admission against a discarding writer: the predicted-ID
+	// string and the pending-batch entry are the admission itself; the JSON
+	// encoding reuses the encoder's buffer (measured 2.0).
+	"serve_admit": 6,
 }
 
 // simStepProbe builds a self-rescheduling event loop and measures one Step.
@@ -269,7 +274,29 @@ func AllocBench(cfg AllocBenchConfig) (*AllocBenchResult, error) {
 
 	add("tracer_emit", "quasar/internal/obs.(*Tracer).emit", tracerEmitProbe(cfg.Runs))
 
+	allocs, err = serveAdmitProbe(cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
+	add("serve_admit", "quasar/internal/serve.(*Journal).Admit", allocs)
+
 	return res, nil
+}
+
+// serveAdmitProbe measures one journaled admission — stamp, encode, append —
+// against a discarding writer, the synchronous work every live HTTP submit
+// pays under the journal lock.
+func serveAdmitProbe(runs int) (float64, error) {
+	j := serve.NewJournalWriter(io.Discard, serve.Config{}, 1)
+	e := serve.Entry{Kind: serve.KindSubmit, Submit: &serve.SubmitRequest{
+		Type: "single-node", Family: -1, BestEffort: true,
+	}}
+	for i := 0; i < 64; i++ { // warm the encoder and pending-batch storage
+		if _, err := j.Admit(e); err != nil {
+			return 0, err
+		}
+	}
+	return testing.AllocsPerRun(runs, func() { _, _ = j.Admit(e) }), nil
 }
 
 // Check compares measured counts against budgets and returns one error per

@@ -1,0 +1,60 @@
+package loadgen
+
+import "fmt"
+
+// PatternSpec is the JSON-serializable description of a load pattern. Serve
+// mode journals one per latency-critical submission so a replay reconstructs
+// the exact offered-load curve from the journal alone; it is also the wire
+// shape clients use to pick a pattern over the HTTP admission API.
+type PatternSpec struct {
+	// Kind selects the pattern: "flat", "fluctuating", "spike", "diurnal".
+	Kind string `json:"kind"`
+
+	// QPS applies to flat.
+	QPS float64 `json:"qps,omitempty"`
+
+	// Min/Max apply to fluctuating and diurnal.
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+
+	// Period/Phase apply to fluctuating.
+	Period float64 `json:"period,omitempty"`
+	Phase  float64 `json:"phase,omitempty"`
+
+	// Base/Peak/Start/Duration/RampSecs apply to spike.
+	Base     float64 `json:"base,omitempty"`
+	Peak     float64 `json:"peak,omitempty"`
+	Start    float64 `json:"start,omitempty"`
+	Duration float64 `json:"duration,omitempty"`
+	RampSecs float64 `json:"ramp_secs,omitempty"`
+
+	// PeakHour applies to diurnal.
+	PeakHour float64 `json:"peak_hour,omitempty"`
+}
+
+// Build constructs the described pattern.
+func (s *PatternSpec) Build() (Pattern, error) {
+	switch s.Kind {
+	case "flat":
+		if s.QPS <= 0 {
+			return nil, fmt.Errorf("loadgen: flat pattern needs qps > 0")
+		}
+		return Flat{QPS: s.QPS}, nil
+	case "fluctuating":
+		if s.Min < 0 || s.Max < s.Min || s.Period <= 0 {
+			return nil, fmt.Errorf("loadgen: fluctuating pattern needs 0 <= min <= max and period > 0")
+		}
+		return Fluctuating{Min: s.Min, Max: s.Max, Period: s.Period, Phase: s.Phase}, nil
+	case "spike":
+		if s.Base < 0 || s.Peak < s.Base || s.Duration < 0 {
+			return nil, fmt.Errorf("loadgen: spike pattern needs 0 <= base <= peak and duration >= 0")
+		}
+		return Spike{Base: s.Base, Peak: s.Peak, Start: s.Start, Duration: s.Duration, RampSecs: s.RampSecs}, nil
+	case "diurnal":
+		if s.Min < 0 || s.Max < s.Min {
+			return nil, fmt.Errorf("loadgen: diurnal pattern needs 0 <= min <= max")
+		}
+		return Diurnal{Min: s.Min, Max: s.Max, PeakHour: s.PeakHour}, nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown pattern kind %q (want flat, fluctuating, spike, or diurnal)", s.Kind)
+}

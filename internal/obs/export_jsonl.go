@@ -135,6 +135,28 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 	return bw.Flush()
 }
 
+// WriteEventsJSONL writes an explicit event window as JSONL — the optional
+// header line first, then one line per event with the events' original
+// sequence numbers — using the same per-line encoder as the full exporters.
+// This is the flight-recorder dump format: a RingSink's retained window
+// serialized mid-run, without the trailing registry lines a finalized trace
+// carries.
+func WriteEventsJSONL(w io.Writer, h *Header, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if h != nil {
+		if err := enc.Encode(h); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		if err := encodeEventLine(enc, &events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // RawEvent is the decoded form of one JSONL event line, with the payload left
 // raw for callers to project into typed decision structs.
 type RawEvent struct {

@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"quasar/internal/obs"
+)
+
+// promContentType is the Prometheus text exposition content type; version
+// 0.0.4 is the text-format version scrapers negotiate on.
+const promContentType = "text/plain; version=0.0.4"
+
+// routes builds the admission and introspection mux (Go 1.22 pattern
+// syntax). Admission endpoints only touch the journal; query endpoints only
+// take the engine lock — see the Server lock-order comment.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("POST /v1/target/{id}", s.handleTarget)
+	mux.HandleFunc("POST /v1/evict/{id}", s.handleEvict)
+	mux.HandleFunc("POST /v1/shutdown", s.handleShutdown)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/workloads/{id}", s.handleWorkload)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlight)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client went away; nothing sensible to do
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// admitResponse acknowledges a journaled admission: the sequence number, the
+// epoch boundary it will apply at, and — for submits — the promised
+// workload ID.
+type admitResponse struct {
+	Workload string  `json:"workload,omitempty"`
+	Seq      int     `json:"seq"`
+	ApplyAt  float64 `json:"apply_at"`
+}
+
+// admit journals the entry and writes the acknowledgement. 202: the request
+// is durable and scheduled, not yet applied.
+func (s *Server) admit(w http.ResponseWriter, e Entry) {
+	ent, err := s.j.Admit(e)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "admission failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, admitResponse{Workload: ent.Workload, Seq: ent.Seq, ApplyAt: ent.At})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad submit body: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.admit(w, Entry{Kind: KindSubmit, Submit: &req})
+}
+
+func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req TargetUpdate
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad target body: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.admit(w, Entry{Kind: KindTarget, Workload: id, Target: &req})
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	s.admit(w, Entry{Kind: KindEvict, Workload: r.PathValue("id")})
+}
+
+func (s *Server) handleShutdown(w http.ResponseWriter, _ *http.Request) {
+	s.Shutdown()
+	writeJSON(w, http.StatusAccepted, map[string]bool{"shutting_down": true})
+}
+
+// workloadInfo is one row of the workload listing.
+type workloadInfo struct {
+	ID         string  `json:"id"`
+	Type       string  `json:"type"`
+	Status     string  `json:"status"`
+	BestEffort bool    `json:"best_effort,omitempty"`
+	Nodes      int     `json:"nodes"`
+	SubmitAt   float64 `json:"submit_at"`
+}
+
+type workloadList struct {
+	Total int            `json:"total"`
+	Tasks []workloadInfo `json:"tasks"`
+}
+
+// listWorkloads snapshots up to limit tasks under the engine lock.
+func (s *Server) listWorkloads(limit int) workloadList {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	tasks := s.w.rt.Tasks()
+	out := workloadList{Total: len(tasks)}
+	n := len(tasks)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out.Tasks = make([]workloadInfo, 0, n)
+	for _, t := range tasks[:n] {
+		out.Tasks = append(out.Tasks, workloadInfo{
+			ID: t.W.ID, Type: t.W.Type.String(), Status: t.Status.String(),
+			BestEffort: t.W.BestEffort, Nodes: t.NumNodes(), SubmitAt: t.SubmitAt,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+		limit = v
+	}
+	writeJSON(w, http.StatusOK, s.listWorkloads(limit))
+}
+
+// workloadDetail adds the target to the listing row.
+type workloadDetail struct {
+	workloadInfo
+	Class          string  `json:"class"`
+	CompletionSecs float64 `json:"completion_secs,omitempty"`
+	QPS            float64 `json:"qps,omitempty"`
+	LatencyUS      float64 `json:"latency_us,omitempty"`
+	IPS            float64 `json:"ips,omitempty"`
+}
+
+// getWorkload snapshots one task under the engine lock.
+func (s *Server) getWorkload(id string) (workloadDetail, bool) {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	t := s.w.rt.Task(id)
+	if t == nil {
+		return workloadDetail{}, false
+	}
+	d := workloadDetail{
+		workloadInfo: workloadInfo{
+			ID: t.W.ID, Type: t.W.Type.String(), Status: t.Status.String(),
+			BestEffort: t.W.BestEffort, Nodes: t.NumNodes(), SubmitAt: t.SubmitAt,
+		},
+		Class: t.W.Type.Class().String(),
+	}
+	if !t.W.BestEffort {
+		d.CompletionSecs = t.W.Target.CompletionSecs
+		d.QPS = t.W.Target.QPS
+		d.LatencyUS = t.W.Target.LatencyUS
+		d.IPS = t.W.Target.IPS
+	}
+	return d, true
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, ok := s.getWorkload(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown workload %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// healthState reads the SLO engine's latest cluster health sweep under the
+// engine lock.
+func (s *Server) healthState() (score float64, swept, enabled bool) {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	if s.w.slo == nil {
+		return 0, false, false
+	}
+	score, swept = s.w.slo.Health()
+	return score, swept, true
+}
+
+type healthResponse struct {
+	Status string  `json:"status"`
+	Health float64 `json:"health"`
+	SLO    bool    `json:"slo"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	score, swept, enabled := s.healthState()
+	resp := healthResponse{Status: "ok", Health: 1, SLO: enabled}
+	code := http.StatusOK
+	switch {
+	case !enabled:
+		resp.Status = "ok (slo monitoring disabled)"
+	case !swept:
+		resp.Status = "ok (no health sweep yet)"
+	case score < 0.5:
+		resp.Status = "degraded"
+		resp.Health = score
+		code = http.StatusServiceUnavailable
+	default:
+		resp.Health = score
+	}
+	writeJSON(w, code, resp)
+}
+
+// promSnapshot renders the Prometheus text snapshot under the engine lock,
+// into a buffer so the (unlocked) response write never blocks the pacer on
+// a slow scraper.
+func (s *Server) promSnapshot() ([]byte, error) {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	var buf bytes.Buffer
+	if err := obs.WritePromSnapshot(&buf, s.w.tracer); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	data, err := s.promSnapshot()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "rendering metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", promContentType)
+	_, _ = w.Write(data)
+}
+
+// flightWindow copies the flight recorder's retained event window under the
+// engine lock.
+func (s *Server) flightWindow() (obs.Header, []obs.Event) {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	return s.w.tracer.Header(), s.w.ring.Events()
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	h, events := s.flightWindow()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = obs.WriteEventsJSONL(w, &h, events) // best effort: client may disconnect mid-dump
+}
+
+// statusz is the daemon's introspection snapshot.
+type statusz struct {
+	SimTime      float64 `json:"sim_time"`
+	NextBoundary float64 `json:"next_boundary"`
+	EpochSecs    float64 `json:"epoch_secs"`
+	Applied      int     `json:"applied"`
+	AppliedSeq   int     `json:"applied_seq"`
+	JournalSeq   int     `json:"journal_seq"`
+	OpenBoundary float64 `json:"open_boundary"`
+	Pending      int     `json:"pending_events"`
+	NextEventAt  float64 `json:"next_event_at"`
+	Fired        uint64  `json:"fired_events"`
+	Tasks        int     `json:"tasks"`
+	QueueLen     int     `json:"queue_len"`
+	TraceEvents  int     `json:"trace_events"`
+}
+
+// status assembles statusz under the engine lock (journal state nested in
+// the established engineMu → Journal.mu order).
+func (s *Server) status() statusz {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	st := statusz{
+		SimTime:      s.w.rt.Eng.Now(),
+		NextBoundary: s.nextB,
+		EpochSecs:    s.cfg.EpochSecs,
+		Applied:      s.appliedN,
+		AppliedSeq:   s.appliedSeq,
+		Pending:      s.w.rt.Eng.Pending(),
+		Fired:        s.w.rt.Eng.Fired(),
+		Tasks:        len(s.w.rt.Tasks()),
+		QueueLen:     s.w.q.QueueLen(),
+		TraceEvents:  s.w.tracer.Len(),
+	}
+	if at, ok := s.w.rt.Eng.NextAt(); ok {
+		st.NextEventAt = at
+	}
+	st.JournalSeq, st.OpenBoundary = s.j.State()
+	return st
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.status())
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"quasar/internal/obs"
+)
+
+// TestWarmFailoverResumesByteIdentically is the failover determinism
+// contract: a standby that restores the mid-run snapshot and continues from
+// the journal tail must land in exactly the same state as any other standby
+// doing the same — traces and final manager bytes identical. (The failover
+// continuation is not compared against the uninterrupted run: the restored
+// manager derives its RNG streams at the failover point, which is the
+// documented determinism boundary.)
+func TestWarmFailoverResumesByteIdentically(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.journal")
+	snapshot := filepath.Join(dir, "run.snapshot.json")
+	cfg := Config{Servers: 24, Seed: 21}
+	script := []ScriptEntry{
+		{At: 1, Submit: &SubmitRequest{Type: "memcached", Family: -1, QPS: 7000, LatencyUS: 600, MaxNodes: 3}},
+		{At: 4, Submit: &SubmitRequest{Type: "single-node", Family: -1, BestEffort: true}},
+		{At: 8, Submit: &SubmitRequest{Type: "spark", Family: 0, MaxNodes: 3, TargetSlack: 1.4}},
+		// Admissions continuing past the t=50 snapshot: the standby applies
+		// these from the journal tail after restoring.
+		{At: 60, Submit: &SubmitRequest{Type: "single-node", Family: -1, BestEffort: true}},
+		{At: 70, Evict: "single-node-0009"},
+	}
+	if _, err := BuildJournal(journal, cfg, 90, script); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1: plain replay writing the mid-run snapshot at t=50 (end is 90,
+	// so the cadence fires exactly once — genuinely mid-run).
+	if _, err := Replay(journal, ReplayOptions{SnapshotPath: snapshot, SnapshotEverySecs: 50}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SimTime != 50 { //lint:allow(floatcmp) cadence pins an exact boundary
+		t.Fatalf("snapshot at t=%g, want the mid-run t=50", snap.SimTime)
+	}
+
+	takeOver := func(name string) ([]byte, *ReplayResult) {
+		tracePath := filepath.Join(dir, name+".jsonl")
+		sink, err := obs.NewStreamSink(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(journal, ReplayOptions{
+			Sinks: []obs.Sink{sink}, Snapshot: snap, Failover: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace, res
+	}
+	traceA, resA := takeOver("standby-a")
+	traceB, resB := takeOver("standby-b")
+
+	if !resA.SnapshotVerified || resA.FailoverAt != 50 { //lint:allow(floatcmp) exact boundary
+		t.Fatalf("failover did not happen at the snapshot boundary: verified=%v at t=%g", resA.SnapshotVerified, resA.FailoverAt)
+	}
+	if resA.Applied != len(script) {
+		t.Fatalf("standby applied %d entries, want all %d (tail included)", resA.Applied, len(script))
+	}
+	if !bytes.Equal(traceA, traceB) {
+		t.Fatalf("two identical failover take-overs diverged (%d vs %d trace bytes)", len(traceA), len(traceB))
+	}
+	if !bytes.Equal(resA.ManagerState, resB.ManagerState) {
+		t.Fatal("two identical failover take-overs ended with different manager state")
+	}
+}
+
+// TestSnapshotVerifyCatchesDivergence: a snapshot from a different run must
+// fail verification, not silently pass.
+func TestSnapshotVerifyCatchesDivergence(t *testing.T) {
+	dir := t.TempDir()
+	journalA := filepath.Join(dir, "a.journal")
+	journalB := filepath.Join(dir, "b.journal")
+	snapA := filepath.Join(dir, "a.snapshot.json")
+	script := []ScriptEntry{
+		{At: 1, Submit: &SubmitRequest{Type: "single-node", Family: -1, BestEffort: true}},
+		{At: 2, Submit: &SubmitRequest{Type: "webserver", Family: -1, QPS: 5000, LatencyUS: 800, MaxNodes: 2}},
+	}
+	if _, err := BuildJournal(journalA, Config{Servers: 16, Seed: 31}, 40, script); err != nil {
+		t.Fatal(err)
+	}
+	// Same script, different seed: different world, different manager bytes.
+	if _, err := BuildJournal(journalB, Config{Servers: 16, Seed: 32}, 40, script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(journalA, ReplayOptions{SnapshotPath: snapA, SnapshotEverySecs: 20}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(snapA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(journalB, ReplayOptions{Snapshot: snap}); err == nil {
+		t.Fatal("replay of journal B verified journal A's snapshot")
+	}
+}

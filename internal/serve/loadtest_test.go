@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestServeBenchQuick runs the whole benchmark harness at the CI smoke
+// scale: both phases must complete, the standby trace must match, and the
+// quick profile's gates must pass (the throughput floor is full-profile
+// only — CI machines are not the baseline host).
+func TestServeBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a live daemon for a wall-clock second")
+	}
+	res, err := ServeBench(BenchConfig{Quick: true, InProcess: true, Clients: 2, WallSecs: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.TraceMatch {
+		t.Fatal("failover standby trace diverged")
+	}
+	if res.Requests == 0 || res.DecisionsPerSec <= 0 {
+		t.Fatalf("empty rate phase: %+v", res)
+	}
+}
+
+// TestServeBaselineFile gates the committed BENCH_serve.json: it must parse,
+// pass its own Check (including the 10k req/s floor for a full profile), and
+// carry the admission percentiles the acceptance bar names.
+func TestServeBaselineFile(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("BENCH_serve.json missing (regenerate with quasar-load -bench -inprocess -out BENCH_serve.json): %v", err)
+	}
+	var base BenchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Check(); err != nil {
+		t.Errorf("committed baseline fails its own gate: %v", err)
+	}
+	if base.Quick {
+		t.Error("committed baseline is a quick profile; commit a full run")
+	}
+	if base.Transport == "" {
+		t.Error("committed baseline does not record its transport")
+	}
+	if base.AdmitP99US <= 0 || base.DecisionsPerSec <= 0 {
+		t.Errorf("committed baseline missing admission p99 or decisions/sec: %+v", base)
+	}
+}

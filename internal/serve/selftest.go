@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"quasar/internal/obs"
+)
+
+// SelfTest exercises the whole serve stack end to end, the way the CI smoke
+// lane does: a live daemon with a warm standby tailing its journal, a
+// scripted HTTP client with wall-clock jitter, graceful shutdown, and then
+// the determinism checks — standby trace byte-identical to the primary's,
+// offline replay byte-identical again, and the final warm-failover snapshot
+// verified against the replay-built world.
+func SelfTest(out io.Writer) error {
+	dir, err := os.MkdirTemp("", "quasar-serve-selftest-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	journal := filepath.Join(dir, "run.journal")
+	traceA := filepath.Join(dir, "primary.trace.jsonl")
+	traceB := filepath.Join(dir, "standby.trace.jsonl")
+	traceC := filepath.Join(dir, "offline.trace.jsonl")
+	snapshot := filepath.Join(dir, "run.snapshot.json")
+
+	cfg := Config{Servers: 20, Seed: 11, SLO: true}
+	primary, err := New(Options{
+		Addr: "127.0.0.1:0", Config: cfg,
+		JournalPath: journal, TracePath: traceA,
+		SnapshotPath: snapshot, SnapshotEverySecs: 20,
+		Warp: 400,
+	})
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- primary.Serve() }()
+
+	// Warm standby: tails the journal the primary is writing right now.
+	standbySink, err := obs.NewStreamSink(traceB)
+	if err != nil {
+		return err
+	}
+	standbyDone := make(chan error, 1)
+	go func() {
+		_, err := Replay(journal, ReplayOptions{
+			Sinks: []obs.Sink{standbySink}, Follow: true,
+			PollInterval: 2 * time.Millisecond, WaitTimeout: 60 * time.Second,
+		})
+		standbyDone <- err
+	}()
+
+	if err := selfTestClient(primary.Addr()); err != nil {
+		primary.Shutdown()
+		<-serveErr
+		return err
+	}
+	// Let a few more paced epochs elapse with no admissions, then stop the
+	// daemon through its own endpoint.
+	time.Sleep(150 * time.Millisecond)
+	resp, err := http.Post("http://"+primary.Addr()+"/v1/shutdown", "application/json", nil)
+	if err != nil {
+		primary.Shutdown() // the endpoint failed; stop directly
+	} else {
+		_ = resp.Body.Close()
+	}
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("serve: primary failed: %w", err)
+	}
+	if err := <-standbyDone; err != nil {
+		return fmt.Errorf("serve: standby failed: %w", err)
+	}
+	fprintf(out, "selftest: primary ran to t=%g with %d admissions applied\n",
+		primary.EndBoundary(), primary.Applied())
+
+	a, err := os.ReadFile(traceA)
+	if err != nil {
+		return err
+	}
+	b, err := os.ReadFile(traceB)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("serve: standby trace diverged from primary (%d vs %d bytes)", len(a), len(b))
+	}
+	fprintf(out, "selftest: standby trace byte-identical to primary (%d bytes)\n", len(a))
+
+	snap, err := LoadSnapshot(snapshot)
+	if err != nil {
+		return err
+	}
+	offlineSink, err := obs.NewStreamSink(traceC)
+	if err != nil {
+		return err
+	}
+	res, err := Replay(journal, ReplayOptions{Sinks: []obs.Sink{offlineSink}, Snapshot: snap})
+	if err != nil {
+		return err
+	}
+	if !res.SnapshotVerified {
+		return fmt.Errorf("serve: replay never reached snapshot boundary t=%g (ended at %g)", snap.SimTime, res.EndAt)
+	}
+	c, err := os.ReadFile(traceC)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, c) {
+		return fmt.Errorf("serve: offline replay trace diverged from primary (%d vs %d bytes)", len(a), len(c))
+	}
+	fprintf(out, "selftest: offline replay byte-identical, %d entries applied, snapshot verified at t=%g\n",
+		res.Applied, snap.SimTime)
+	fprintf(out, "selftest: PASS\n")
+	return nil
+}
+
+// selfTestClient runs the scripted admission mix with wall-clock jitter —
+// the jitter is the point: arrival times must not affect the trace.
+func selfTestClient(addr string) error {
+	base := "http://" + addr
+	client := &http.Client{Timeout: 10 * time.Second}
+	post := func(path string, body any) (map[string]any, error) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode >= 300 {
+			msg, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("serve: POST %s: %s: %s", path, resp.Status, msg)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	submit := func(req SubmitRequest) (string, error) {
+		m, err := post("/v1/submit", req)
+		if err != nil {
+			return "", err
+		}
+		id, _ := m["workload"].(string)
+		if id == "" {
+			return "", fmt.Errorf("serve: submit returned no workload ID")
+		}
+		return id, nil
+	}
+
+	var beIDs []string
+	for i := 0; i < 4; i++ {
+		id, err := submit(SubmitRequest{Type: "single-node", Family: -1, BestEffort: true})
+		if err != nil {
+			return err
+		}
+		beIDs = append(beIDs, id)
+		time.Sleep(3 * time.Millisecond)
+	}
+	svcID, err := submit(SubmitRequest{Type: "webserver", Family: -1, QPS: 8000, LatencyUS: 900, MaxNodes: 3})
+	if err != nil {
+		return err
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := submit(SubmitRequest{Type: "hadoop", Family: 1, MaxNodes: 3, TargetSlack: 1.2}); err != nil {
+		return err
+	}
+	time.Sleep(40 * time.Millisecond) // let the service admit before retargeting it
+	if _, err := post("/v1/target/"+svcID, TargetUpdate{QPS: 9000}); err != nil {
+		return err
+	}
+	if _, err := post("/v1/evict/"+beIDs[0], struct{}{}); err != nil {
+		return err
+	}
+
+	// Introspection sweep: every read endpoint must answer while the pacer
+	// is advancing.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	ct := resp.Header.Get("Content-Type")
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if ct != promContentType {
+		return fmt.Errorf("serve: /metrics Content-Type = %q, want %q", ct, promContentType)
+	}
+	for _, path := range []string{"/healthz", "/statusz", "/v1/workloads", "/v1/workloads/" + svcID} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("serve: GET %s: %s", path, resp.Status)
+		}
+	}
+	resp, err = client.Get(base + "/debug/flightrecorder")
+	if err != nil {
+		return err
+	}
+	events, err := obs.ReadJSONL(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("serve: flight recorder dump unreadable: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("serve: flight recorder dump is empty")
+	}
+	return nil
+}
+
+// fprintf writes report output, ignoring errors.
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}

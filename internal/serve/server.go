@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"quasar/internal/obs"
+)
+
+// Options configures a live serve daemon.
+type Options struct {
+	// Addr is the listen address (e.g. "127.0.0.1:7717"; ":0" picks a port).
+	Addr string
+	// Config is the deterministic world configuration, recorded in the
+	// journal header.
+	Config Config
+	// JournalPath is where the admission journal is written (required).
+	JournalPath string
+	// TracePath, when set, streams the full deterministic trace there
+	// (finalized by temp-file rename at shutdown).
+	TracePath string
+	// SnapshotPath, when set, receives warm-failover snapshots: every
+	// SnapshotEverySecs of sim time, plus a final one at shutdown. Each
+	// write is atomic (temp + rename).
+	SnapshotPath      string
+	SnapshotEverySecs float64
+	// Warp maps wall clock to sim clock: the pacer holds sim time to
+	// Warp seconds of sim per wall second. <= 0 free-runs the engine as
+	// fast as it can seal epochs.
+	Warp float64
+	// HorizonSecs, when positive, ends the run at that sim time; 0 runs
+	// until Shutdown.
+	HorizonSecs float64
+}
+
+// Server is the live daemon: an HTTP admission front end over a journal,
+// and a pacer goroutine that owns the engine. engineMu serializes the pacer
+// against read-only query handlers (/metrics, /statusz, workload listings);
+// admission handlers touch only the journal's own lock, so an admission
+// never waits for an epoch to finish simulating.
+//
+// Lock order: engineMu before Journal.mu (the pacer seals the journal while
+// holding the engine). Handlers take at most one path through that order.
+type Server struct {
+	opts Options
+	cfg  Config
+
+	engineMu sync.Mutex
+	w        *world
+	j        *Journal
+	stream   *obs.StreamSink
+
+	ln      net.Listener
+	httpSrv *http.Server
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// Pacer state, engineMu-held.
+	nextB      float64
+	snapDue    float64
+	appliedSeq int
+	appliedN   int
+	applyErr   error
+	started    time.Time
+}
+
+// New builds the world, creates the journal, and binds the listener. The
+// engine does not advance until Serve.
+func New(opts Options) (*Server, error) {
+	if opts.JournalPath == "" {
+		return nil, fmt.Errorf("serve: JournalPath is required")
+	}
+	cfg := opts.Config.withDefaults()
+	var stream *obs.StreamSink
+	var extra []obs.Sink
+	if opts.TracePath != "" {
+		var err error
+		stream, err = obs.NewStreamSink(opts.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		extra = append(extra, stream)
+	}
+	fail := func(err error) (*Server, error) {
+		if stream != nil {
+			stream.Discard()
+		}
+		return nil, err
+	}
+	w, err := buildWorld(cfg, extra...)
+	if err != nil {
+		return fail(err)
+	}
+	j, err := CreateJournal(opts.JournalPath, cfg, w.u.Counter()+1)
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return fail(err)
+	}
+	s := &Server{
+		opts: opts, cfg: cfg, w: w, j: j, stream: stream, ln: ln,
+		stop:  make(chan struct{}),
+		nextB: cfg.EpochSecs, snapDue: opts.SnapshotEverySecs,
+	}
+	s.httpSrv = &http.Server{Handler: s.routes(), ReadHeaderTimeout: 5 * time.Second}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown asks the daemon to stop; Serve then drains in-flight admissions,
+// writes the journal end marker and final snapshot, and finalizes the trace.
+// Safe to call from any goroutine, any number of times.
+func (s *Server) Shutdown() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// Serve runs the daemon until Shutdown, the horizon, or a fatal error: the
+// HTTP server on its own goroutine, the pacer on the calling one. It always
+// finalizes — even on a pacer error, the trace and journal land on disk.
+func (s *Server) Serve() error {
+	s.started = time.Now()
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- s.httpSrv.Serve(s.ln) }()
+	paceErr := s.pace()
+	finErr := s.finalize()
+	herr := <-httpErr
+	if errors.Is(herr, http.ErrServerClosed) {
+		herr = nil
+	}
+	if paceErr != nil {
+		return paceErr
+	}
+	if finErr != nil {
+		return finErr
+	}
+	return herr
+}
+
+// pace is the epoch loop: advance one boundary, then sleep until the wall
+// clock catches up with the warp target. Sleeps are chopped to 50ms so
+// Shutdown is always prompt; in free-run mode an idle epoch (nothing
+// admitted) yields briefly instead of spinning the lock.
+func (s *Server) pace() error {
+	for {
+		select {
+		case <-s.stop:
+			return nil
+		default:
+		}
+		boundary, batch, err := s.advance()
+		if err != nil {
+			return err
+		}
+		if s.opts.HorizonSecs > 0 && boundary+1e-9 >= s.opts.HorizonSecs {
+			return nil
+		}
+		if s.opts.Warp <= 0 {
+			if batch == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+			continue
+		}
+		target := s.started.Add(time.Duration(boundary / s.opts.Warp * float64(time.Second)))
+		for {
+			d := time.Until(target)
+			if d <= 0 {
+				break
+			}
+			if d > 50*time.Millisecond {
+				d = 50 * time.Millisecond
+			}
+			select {
+			case <-s.stop:
+				return nil
+			case <-time.After(d):
+			}
+		}
+	}
+}
+
+// advance runs exactly one epoch under the engine lock and moves the next
+// boundary forward.
+func (s *Server) advance() (boundary float64, batch int, err error) {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	boundary = s.nextB
+	batch, err = s.epochStep(boundary)
+	if err != nil {
+		return boundary, batch, err
+	}
+	s.nextB += s.cfg.EpochSecs
+	return boundary, batch, nil
+}
+
+// epochStep is the deterministic heart of serve mode (engineMu held): seal
+// the journal at boundary B — everything admitted since the last boundary,
+// now flushed for the standby — schedule the sealed batch at B in sequence
+// order, run the engine to B, then handle the snapshot cadence. Replay
+// performs the identical schedule/run sequence per boundary, which is the
+// whole byte-identity argument.
+func (s *Server) epochStep(boundary float64) (int, error) {
+	batch, err := s.j.seal(boundary + s.cfg.EpochSecs)
+	if err != nil {
+		return 0, err
+	}
+	for i := range batch {
+		e := batch[i]
+		s.w.rt.Eng.Schedule(boundary, func() {
+			if err := s.w.apply(&e); err != nil && s.applyErr == nil {
+				s.applyErr = err
+			}
+		})
+	}
+	s.w.rt.Eng.Run(boundary)
+	if s.applyErr != nil {
+		return len(batch), s.applyErr
+	}
+	if n := len(batch); n > 0 {
+		s.appliedSeq = batch[n-1].Seq
+		s.appliedN += n
+	}
+	if s.opts.SnapshotPath != "" && s.opts.SnapshotEverySecs > 0 && boundary+1e-9 >= s.snapDue {
+		if err := s.writeSnapshot(); err != nil {
+			return len(batch), err
+		}
+		s.snapDue += s.opts.SnapshotEverySecs
+	}
+	return len(batch), nil
+}
+
+// writeSnapshot captures and atomically lands the failover snapshot
+// (engineMu held).
+func (s *Server) writeSnapshot() error {
+	data, err := marshalSnapshot(s.w, s.appliedSeq)
+	if err != nil {
+		return err
+	}
+	return writeSnapshotFile(s.opts.SnapshotPath, data)
+}
+
+// finalize is the graceful-shutdown path: stop accepting HTTP (draining
+// in-flight handlers), run one last epoch so admissions that raced with
+// shutdown still apply, write the journal end marker, land the final warm
+// snapshot, and close the tracer — the StreamSink's temp-file rename makes
+// the trace readable even though the daemon was killed mid-run.
+func (s *Server) finalize() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	herr := s.httpSrv.Shutdown(ctx)
+
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	boundary := s.nextB
+	_, stepErr := s.epochStep(boundary)
+	endErr := s.j.end(boundary)
+	var snapErr error
+	if s.opts.SnapshotPath != "" {
+		snapErr = s.writeSnapshot()
+	}
+	s.w.rt.Stop()
+	cerr := s.w.tracer.Close()
+	for _, err := range []error{stepErr, endErr, snapErr, cerr, herr} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EndBoundary reports the final epoch boundary after Serve returns — the
+// sim time the journal's end marker carries.
+func (s *Server) EndBoundary() float64 {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	return s.nextB
+}
+
+// Applied reports how many journal entries have been applied so far.
+func (s *Server) Applied() int {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	return s.appliedN
+}

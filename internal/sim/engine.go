@@ -155,6 +155,11 @@ func (e *Engine) Cancel(id EventID) bool {
 // Pending reports the number of events waiting to fire.
 func (e *Engine) Pending() int { return e.q.len() }
 
+// NextAt reports the virtual time of the earliest pending event, and whether
+// one exists. It never fires or removes anything — a status probe for live
+// front ends (quasar-serve's /statusz).
+func (e *Engine) NextAt() (float64, bool) { return e.q.peekAt() }
+
 // Step fires the next event, advancing the clock to its time. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {

@@ -450,6 +450,16 @@ type BudgetStatus struct {
 	Consumed float64
 }
 
+// Health returns the most recent cluster health sweep value (1 = every
+// server healthy, 0 = every server failed) and whether a sweep has run yet.
+// Serve mode's /healthz endpoint reads this.
+func (e *Engine) Health() (float64, bool) {
+	if n := e.ClusterHealth.Len(); n > 0 {
+		return e.ClusterHealth.Vals[n-1], true
+	}
+	return 0, false
+}
+
 // Budgets returns per-workload budget status in submission order.
 func (e *Engine) Budgets() []BudgetStatus {
 	out := make([]BudgetStatus, 0, len(e.order))

@@ -43,6 +43,12 @@ func NewUniverse(platforms []cluster.Platform, seed int64, familiesPerArchetype 
 // Families returns the family pool of the named archetype.
 func (u *Universe) Families(archetype string) []*perfmodel.Family { return u.families[archetype] }
 
+// Counter returns how many instances this universe has generated. The next
+// New call mints ID "<type>-%04d" with ordinal Counter()+1 — which is what
+// lets an admission front end promise a workload ID before the deterministic
+// apply point actually constructs the instance.
+func (u *Universe) Counter() int { return u.counter }
+
 // Spec configures instance generation.
 type Spec struct {
 	Type Type
