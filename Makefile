@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo bench-scale bench-obs-scale bench-obs-scale-quick bench-serve bench-serve-quick serve-smoke trace-diff trace-diff-chaos trace-diff-slo trace-diff-scale trace-diff-stream fmt-check ci
+.PHONY: all build test race lint lint-hotpath bench bench-alloc bench-parallel bench-obs bench-chaos bench-slo bench-scale bench-obs-scale bench-obs-scale-quick bench-serve bench-serve-quick serve-smoke telemetry-smoke trace-diff trace-diff-chaos trace-diff-slo trace-diff-scale trace-diff-stream fmt-check ci
 
 all: build
 
@@ -73,6 +73,13 @@ bench-obs-scale-quick:
 ## shutdown, then byte-identity and snapshot-verification checks
 serve-smoke:
 	$(GO) run ./cmd/quasar-serve -selftest
+
+## telemetry-smoke: serve-mode telemetry end to end — live daemon, /metrics
+## scrape (RED series + operational gauges), live /v1/trace/stream tail, and
+## request-ID correlation between the admission API, /debug/requests, and the
+## streamed serve.apply events
+telemetry-smoke:
+	$(GO) run ./cmd/quasar-serve -telemetry-smoke
 
 ## bench-serve: drive a live daemon with closed-loop clients, measure the warm
 ## failover gap, refresh BENCH_serve.json, and fail below the 10k req/s floor

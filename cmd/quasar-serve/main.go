@@ -67,6 +67,7 @@ func run() error {
 		seedLib      = flag.Int("seedlib", 1, "classification library seeds per workload type")
 		workers      = flag.Int("workers", 0, "worker goroutines for parallel fan-outs (0 = GOMAXPROCS); never changes results")
 		selftest     = flag.Bool("selftest", false, "run the end-to-end serve self-test and exit")
+		telSmoke     = flag.Bool("telemetry-smoke", false, "run the telemetry smoke check (metrics scrape, live stream tail, request correlation) and exit")
 		replayPath   = flag.String("replay", "", "replay this journal instead of serving")
 		follow       = flag.Bool("follow", false, "with -replay: tail a journal that is still being written (warm standby)")
 		verifySnap   = flag.String("verify-snapshot", "", "with -replay: verify this snapshot file against the replayed state")
@@ -77,6 +78,9 @@ func run() error {
 
 	if *selftest {
 		return serve.SelfTest(os.Stdout)
+	}
+	if *telSmoke {
+		return serve.TelemetrySmoke(os.Stdout)
 	}
 
 	cfg := serve.Config{

@@ -11,13 +11,17 @@
 //	quasar-trace -alerts run.jsonl             # SLO alert timeline + why each fired
 //	quasar-trace -since 3000 -until 4000 run.jsonl
 //	                                           # restrict any view to a sim-time window
+//	quasar-trace -follow 127.0.0.1:7717        # tail a live daemon's trace stream
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -27,17 +31,27 @@ import (
 
 func main() {
 	var (
-		task   = flag.String("task", "", "focus on one workload ID")
-		server = flag.Int("server", -1, "with -task: explain the placement on this server")
-		qos    = flag.Bool("qos", false, "with -task: explain QoS misses")
-		alerts = flag.Bool("alerts", false, "SLO alert timeline with the burn math behind each fire")
-		since  = flag.Float64("since", math.Inf(-1), "drop events before this sim time (seconds)")
-		until  = flag.Float64("until", math.Inf(1), "drop events after this sim time (seconds)")
+		task    = flag.String("task", "", "focus on one workload ID")
+		server  = flag.Int("server", -1, "with -task: explain the placement on this server")
+		qos     = flag.Bool("qos", false, "with -task: explain QoS misses")
+		alerts  = flag.Bool("alerts", false, "SLO alert timeline with the burn math behind each fire")
+		since   = flag.Float64("since", math.Inf(-1), "drop events before this sim time (seconds)")
+		until   = flag.Float64("until", math.Inf(1), "drop events after this sim time (seconds)")
+		follow  = flag.Bool("follow", false, "treat the argument as a live daemon address and tail GET /v1/trace/stream")
+		followN = flag.Int("n", 0, "with -follow: stop after this many events (0 streams until the daemon ends the run)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		_, _ = fmt.Fprintln(os.Stderr, "usage: quasar-trace [-task ID [-server N | -qos]] [-alerts] [-since T] [-until T] trace.jsonl")
+		_, _ = fmt.Fprintln(os.Stderr, "       quasar-trace -follow [-n N] daemon-addr")
 		os.Exit(2)
+	}
+	if *follow {
+		if err := followStream(flag.Arg(0), *followN, os.Stdout); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -47,23 +61,10 @@ func main() {
 	defer func() { _ = f.Close() }()
 
 	if *task == "" && !*alerts {
-		// The summary view aggregates incrementally over ScanJSONL, holding
-		// one line at a time — a multi-gigabyte streamed trace summarizes in
-		// constant memory.
-		var sum summary
-		hdr, err := obs.ScanJSONL(f, func(ev *obs.RawEvent) error {
-			if ev.T < *since || ev.T > *until {
-				return nil
-			}
-			sum.add(ev)
-			return nil
-		}, sum.metric)
-		if err != nil {
+		if err := summarize(f, *since, *until, os.Stdout); err != nil {
 			_, _ = fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		reportControls(hdr, sum.droppedAtRecord)
-		sum.report()
 		return
 	}
 
@@ -82,7 +83,7 @@ func main() {
 		_, _ = fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	reportControls(hdr, droppedAtRecord)
+	reportControls(os.Stdout, hdr, droppedAtRecord)
 	evs = clipWindow(evs, *since, *until)
 
 	switch {
@@ -97,10 +98,31 @@ func main() {
 	}
 }
 
+// summarize runs the summary view: it aggregates incrementally over
+// ScanJSONL, holding one line at a time — a multi-gigabyte streamed trace
+// summarizes in constant memory. Split from main so window-filter tests can
+// drive it against a file and capture the output.
+func summarize(r io.Reader, since, until float64, w io.Writer) error {
+	var sum summary
+	hdr, err := obs.ScanJSONL(r, func(ev *obs.RawEvent) error {
+		if ev.T < since || ev.T > until {
+			return nil
+		}
+		sum.add(ev)
+		return nil
+	}, sum.metric)
+	if err != nil {
+		return err
+	}
+	reportControls(w, hdr, sum.droppedAtRecord)
+	sum.report(w)
+	return nil
+}
+
 // reportControls tells the reader what the recording run chose to drop, from
 // the trace header and the tracer's own drop counter — so "no events for
 // workload X" can mean "sampled out at record time", not "never happened".
-func reportControls(h *obs.Header, dropped float64) {
+func reportControls(w io.Writer, h *obs.Header, dropped float64) {
 	if h == nil {
 		return
 	}
@@ -120,11 +142,11 @@ func reportControls(h *obs.Header, dropped float64) {
 	if len(parts) == 0 {
 		return
 	}
-	fmt.Printf("recorded with trace controls: %s", strings.Join(parts, ", "))
+	_, _ = fmt.Fprintf(w, "recorded with trace controls: %s", strings.Join(parts, ", "))
 	if dropped > 0 {
-		fmt.Printf(" (%.0f events dropped at record time)", dropped)
+		_, _ = fmt.Fprintf(w, " (%.0f events dropped at record time)", dropped)
 	}
-	fmt.Println()
+	_, _ = fmt.Fprintln(w)
 }
 
 // clipWindow keeps the events inside [since, until]. Events are time-ordered
@@ -186,6 +208,9 @@ type summary struct {
 	deferred           int
 	delaySum           float64
 	droppedAtRecord    float64
+	serveApplied       int
+	serveErrors        int
+	serveReasons       map[string]int
 }
 
 func (s *summary) add(ev *obs.RawEvent) {
@@ -193,6 +218,7 @@ func (s *summary) add(ev *obs.RawEvent) {
 		s.byName = map[string]int{}
 		s.workloads, s.servers = map[string]bool{}, map[string]bool{}
 		s.chaosCount, s.detect = map[string]int{}, map[string]int{}
+		s.serveReasons = map[string]int{}
 		s.minT = ev.T
 	}
 	s.count++
@@ -211,6 +237,16 @@ func (s *summary) add(ev *obs.RawEvent) {
 		}
 	}
 	switch ev.Cat {
+	case "serve":
+		switch ev.Name {
+		case "serve.apply":
+			s.serveApplied++
+		case "serve.apply-error":
+			s.serveErrors++
+			if r, ok := argsOf(ev)["error"].(string); ok && r != "" {
+				s.serveReasons[r]++
+			}
+		}
 	case "chaos":
 		s.chaosCount[ev.Name]++
 	case "detect":
@@ -240,26 +276,32 @@ func (s *summary) metric(m *obs.RawMetric) error {
 	return nil
 }
 
-func (s *summary) report() {
+func (s *summary) report(w io.Writer) {
 	if s.count == 0 {
-		fmt.Println("empty trace")
+		_, _ = fmt.Fprintln(w, "empty trace")
 		return
 	}
-	fmt.Printf("events: %d  span: %.0fs..%.0fs\n", s.count, s.minT, s.maxT)
-	fmt.Printf("workloads: %d  servers touched: %d\n", len(s.workloads), len(s.servers))
-	fmt.Printf("schedule decisions: %d (%d placed, %d rejected)\n", s.decisions, s.placed, s.decisions-s.placed)
+	_, _ = fmt.Fprintf(w, "events: %d  span: %.0fs..%.0fs\n", s.count, s.minT, s.maxT)
+	_, _ = fmt.Fprintf(w, "workloads: %d  servers touched: %d\n", len(s.workloads), len(s.servers))
+	_, _ = fmt.Fprintf(w, "schedule decisions: %d (%d placed, %d rejected)\n", s.decisions, s.placed, s.decisions-s.placed)
+	if s.serveApplied > 0 || s.serveErrors > 0 {
+		_, _ = fmt.Fprintf(w, "serve admissions: %d applied, %d apply errors\n", s.serveApplied, s.serveErrors)
+		for _, rc := range topReasons(s.serveReasons, 5) {
+			_, _ = fmt.Fprintf(w, "  apply error %dx: %s\n", rc.n, rc.reason)
+		}
+	}
 	if len(s.chaosCount) > 0 || len(s.detect) > 0 || s.readmits > 0 || s.deferred > 0 {
-		fmt.Printf("faults injected: %d crashes, %d slowdowns, %d partitions (%d restarts, %d heals)\n",
+		_, _ = fmt.Fprintf(w, "faults injected: %d crashes, %d slowdowns, %d partitions (%d restarts, %d heals)\n",
 			s.chaosCount["fault-crash"], s.chaosCount["fault-slowdown"], s.chaosCount["fault-partition"],
 			s.chaosCount["fault-restart"], s.chaosCount["fault-heal"])
-		fmt.Printf("detector: %d suspected, %d declared dead, %d restored; %d workload displacements\n",
+		_, _ = fmt.Fprintf(w, "detector: %d suspected, %d declared dead, %d restored; %d workload displacements\n",
 			s.detect["hb-suspect"], s.detect["hb-dead"], s.detect["hb-restored"], s.detect["displaced"])
-		fmt.Printf("recovery: %d re-admissions (%d reusing the cached signature), %d deferred",
+		_, _ = fmt.Fprintf(w, "recovery: %d re-admissions (%d reusing the cached signature), %d deferred",
 			s.readmits, s.reused, s.deferred)
 		if s.readmits > 0 {
-			fmt.Printf("; MTTR %.0fs", s.delaySum/float64(s.readmits))
+			_, _ = fmt.Fprintf(w, "; MTTR %.0fs", s.delaySum/float64(s.readmits))
 		}
-		fmt.Println()
+		_, _ = fmt.Fprintln(w)
 	}
 	names := make([]string, 0, len(s.byName))
 	for n := range s.byName {
@@ -270,10 +312,34 @@ func (s *summary) report() {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Println("event counts:")
+	_, _ = fmt.Fprintln(w, "event counts:")
 	for _, n := range names {
-		fmt.Printf("  %-18s %d\n", n, s.byName[n])
+		_, _ = fmt.Fprintf(w, "  %-18s %d\n", n, s.byName[n])
 	}
+}
+
+// reasonCount is one apply-error reason with its occurrence count.
+type reasonCount struct {
+	reason string
+	n      int
+}
+
+// topReasons ranks reasons by count (ties alphabetical) and keeps the top k.
+func topReasons(m map[string]int, k int) []reasonCount {
+	out := make([]reasonCount, 0, len(m))
+	for r, n := range m {
+		out = append(out, reasonCount{reason: r, n: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		return out[i].reason < out[j].reason
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 func timeline(evs []obs.RawEvent, task string) {
@@ -436,6 +502,77 @@ func explainPlacement(evs []obs.RawEvent, task string, server int) {
 	if len(last.Evictions) > 0 {
 		fmt.Printf("required evicting best-effort residents: %v\n", last.Evictions)
 	}
+}
+
+// followStream tails a live serve daemon's GET /v1/trace/stream, printing
+// each deterministic trace event as its epoch seals. Control lines the stream
+// layer injects ({"seq":0,"stream_dropped":N}) become loud notices: the
+// subscriber buffer is bounded, so a slow terminal loses whole epochs, never
+// silently. n > 0 asks the server to end the stream after n events.
+func followStream(addr string, n int, w io.Writer) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := addr + "/v1/trace/stream"
+	if n > 0 {
+		url += fmt.Sprintf("?n=%d", n)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream returned %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		var probe struct {
+			Trace         string  `json:"trace"`
+			Metric        string  `json:"metric"`
+			StreamDropped *int64  `json:"stream_dropped"`
+			Name          string  `json:"name"`
+			T             float64 `json:"t"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return fmt.Errorf("corrupt stream line: %w", err)
+		}
+		switch {
+		case probe.Trace != "":
+			var h obs.Header
+			_ = json.Unmarshal(line, &h)
+			_, _ = fmt.Fprintf(w, "attached to %s\n", addr)
+			reportControls(w, &h, 0)
+		case probe.StreamDropped != nil:
+			_, _ = fmt.Fprintf(w, "!! stream fell behind: %d events dropped so far (bounded subscriber buffer)\n", *probe.StreamDropped)
+		case probe.Metric != "":
+			var m obs.RawMetric
+			if err := json.Unmarshal(line, &m); err == nil {
+				_, _ = fmt.Fprintf(w, "metric %s = %s\n", m.Name, m.Value)
+			}
+		default:
+			var ev obs.RawEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return fmt.Errorf("corrupt stream event: %w", err)
+			}
+			printStreamEvent(w, &ev)
+		}
+	}
+	return sc.Err()
+}
+
+// printStreamEvent renders one live event in the timeline style.
+func printStreamEvent(w io.Writer, ev *obs.RawEvent) {
+	_, _ = fmt.Fprintf(w, "%10.1fs  %-8s %s", ev.T, ev.Cat, ev.Name)
+	if len(ev.Args) > 0 && string(ev.Args) != "null" && string(ev.Args) != "{}" {
+		_, _ = fmt.Fprintf(w, "  %s", ev.Args)
+	}
+	_, _ = fmt.Fprintln(w)
 }
 
 func explainQoS(evs []obs.RawEvent, task string) {

@@ -91,7 +91,9 @@ func writeRegistryLines(enc *json.Encoder, reg *Registry) error {
 	}
 	for i := range reg.entries {
 		e := &reg.entries[i]
-		m := jsonlMetric{Metric: e.name, Help: e.help}
+		// Labeled entries carry the label set in the metric name; unlabeled
+		// ones keep the bare name, so pre-label traces are byte-unchanged.
+		m := jsonlMetric{Metric: e.key(), Help: e.help}
 		switch e.kind {
 		case kindCounter:
 			m.Kind, m.Value = "counter", e.counter.Value()

@@ -83,63 +83,117 @@ func promName(name string) string {
 	return b.String()
 }
 
-// WritePromSnapshot writes the registry snapshot, plus the tracer's own
-// event totals, to w.
-func WritePromSnapshot(w io.Writer, t *Tracer) error {
-	bw := bufio.NewWriter(w)
-	head := func(name, help, typ string) {
-		if help != "" {
-			_, _ = fmt.Fprintf(bw, "# HELP %s %s\n", name, promHelp(help))
+// promWriter renders registry entries in the exposition format, emitting one
+// HELP/TYPE header per metric name so labeled entries sharing a name form a
+// single sample group.
+type promWriter struct {
+	bw     *bufio.Writer
+	headed map[string]bool
+}
+
+func newPromWriter(w io.Writer) *promWriter {
+	return &promWriter{bw: bufio.NewWriter(w), headed: make(map[string]bool)}
+}
+
+func (p *promWriter) head(name, help, typ string) {
+	if p.headed[name] {
+		return
+	}
+	p.headed[name] = true
+	if help != "" {
+		_, _ = fmt.Fprintf(p.bw, "# HELP %s %s\n", name, promHelp(help))
+	}
+	_, _ = fmt.Fprintf(p.bw, "# TYPE %s %s\n", name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	_, _ = fmt.Fprintf(p.bw, "%s%s %s\n", name, labels, promFloat(v))
+}
+
+// labels composes the sample's label braces from the entry's label set and an
+// optional extra pair (the quantile label of summary samples).
+func (p *promWriter) labels(e *entry, extra string) string {
+	switch {
+	case e.label == "" && extra == "":
+		return ""
+	case e.label == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + e.label + "}"
+	default:
+		return "{" + e.label + "," + extra + "}"
+	}
+}
+
+// entry renders one registry entry.
+func (p *promWriter) entry(e *entry) {
+	name := promName(e.name)
+	switch e.kind {
+	case kindCounter:
+		p.head(name, e.help, "counter")
+		p.sample(name, p.labels(e, ""), e.counter.Value())
+	case kindGauge:
+		p.head(name, e.help, "gauge")
+		p.sample(name, p.labels(e, ""), e.gauge())
+	case kindSeries:
+		p.head(name, e.help, "gauge")
+		last := 0.0
+		if n := e.series.Len(); n > 0 {
+			last = e.series.Vals[n-1]
 		}
-		_, _ = fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		p.sample(name+"_last", p.labels(e, ""), last)
+		p.sample(name+"_mean", p.labels(e, ""), e.series.Mean())
+		p.sample(name+"_points", p.labels(e, ""), float64(e.series.Len()))
+	case kindDistribution:
+		p.head(name, e.help, "summary")
+		for _, q := range []float64{50, 90, 99} {
+			p.sample(name, p.labels(e, quantileLabel(q)), e.dist.Percentile(q))
+		}
+		p.sample(name+"_count", p.labels(e, ""), float64(e.dist.N()))
+	case kindHistogram:
+		p.head(name, e.help, "summary")
+		for _, q := range []float64{50, 90, 99} {
+			p.sample(name, p.labels(e, quantileLabel(q)), e.hist.Percentile(q))
+		}
+		p.sample(name+"_count", p.labels(e, ""), float64(e.hist.N()))
+		p.sample(name+"_buckets", p.labels(e, ""), float64(e.hist.Buckets()))
+	case kindHeatmap:
+		p.head(name, e.help, "gauge")
+		p.sample(name+"_mean", p.labels(e, ""), e.heat.MeanOverall())
+		p.sample(name+"_rows", p.labels(e, ""), float64(e.heat.Rows))
+		p.sample(name+"_samples", p.labels(e, ""), float64(len(e.heat.Times)))
 	}
-	sample := func(name, labels string, v float64) {
-		_, _ = fmt.Fprintf(bw, "%s%s %s\n", name, labels, promFloat(v))
-	}
+}
 
-	head("obs_events_total", "trace events recorded", "counter")
-	sample("obs_events_total", "", float64(t.Len()))
+// quantileLabel renders the inner quantile pair of a summary sample.
+func quantileLabel(q float64) string {
+	return fmt.Sprintf(`quantile="0.%d"`, int(q))
+}
 
+// WritePromSnapshot writes the tracer's registry snapshot, plus the tracer's
+// own event totals, to w.
+func WritePromSnapshot(w io.Writer, t *Tracer) error {
+	p := newPromWriter(w)
+	p.head("obs_events_total", "trace events recorded", "counter")
+	p.sample("obs_events_total", "", float64(t.Len()))
 	if reg := t.Registry(); reg != nil {
 		for i := range reg.entries {
-			e := &reg.entries[i]
-			name := promName(e.name)
-			switch e.kind {
-			case kindCounter:
-				head(name, e.help, "counter")
-				sample(name, "", e.counter.Value())
-			case kindGauge:
-				head(name, e.help, "gauge")
-				sample(name, "", e.gauge())
-			case kindSeries:
-				head(name, e.help, "gauge")
-				last := 0.0
-				if n := e.series.Len(); n > 0 {
-					last = e.series.Vals[n-1]
-				}
-				sample(name+"_last", "", last)
-				sample(name+"_mean", "", e.series.Mean())
-				sample(name+"_points", "", float64(e.series.Len()))
-			case kindDistribution:
-				head(name, e.help, "summary")
-				for _, q := range []float64{50, 90, 99} {
-					sample(name, promLabel("quantile", fmt.Sprintf("0.%d", int(q))), e.dist.Percentile(q))
-				}
-				sample(name+"_count", "", float64(e.dist.N()))
-			case kindHistogram:
-				head(name, e.help, "summary")
-				for _, q := range []float64{50, 90, 99} {
-					sample(name, promLabel("quantile", fmt.Sprintf("0.%d", int(q))), e.hist.Percentile(q))
-				}
-				sample(name+"_count", "", float64(e.hist.N()))
-				sample(name+"_buckets", "", float64(e.hist.Buckets()))
-			case kindHeatmap:
-				head(name, e.help, "gauge")
-				sample(name+"_mean", "", e.heat.MeanOverall())
-				sample(name+"_rows", "", float64(e.heat.Rows))
-				sample(name+"_samples", "", float64(len(e.heat.Times)))
-			}
+			p.entry(&reg.entries[i])
 		}
 	}
-	return bw.Flush()
+	return p.bw.Flush()
+}
+
+// WritePromRegistry writes a bare registry snapshot to w in the exposition
+// format — the renderer behind a wall-clock telemetry registry that lives
+// outside any tracer (serve mode's RED metrics). Callers own synchronization
+// of the registered containers.
+func WritePromRegistry(w io.Writer, reg *Registry) error {
+	p := newPromWriter(w)
+	if reg != nil {
+		for i := range reg.entries {
+			p.entry(&reg.entries[i])
+		}
+	}
+	return p.bw.Flush()
 }

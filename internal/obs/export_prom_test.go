@@ -114,6 +114,49 @@ func TestPromLabelValueEscaping(t *testing.T) {
 	}
 }
 
+// TestPromLabeledMetricsGrouping pins the labeled-registry contract the RED
+// exporter builds on: entries sharing a name render under a single HELP/TYPE
+// header with their label sets inlined per sample, and labeled summary
+// quantiles merge the endpoint label with the quantile pair.
+func TestPromLabeledMetricsGrouping(t *testing.T) {
+	reg := NewRegistry()
+	reg.LabeledCounter("http_requests_total", `endpoint="submit"`, "requests by endpoint").Add(3)
+	reg.LabeledCounter("http_requests_total", `endpoint="evict"`, "requests by endpoint").Inc()
+	h := metrics.NewHistogram(0.01)
+	for i := 1; i <= 50; i++ {
+		h.Add(float64(i))
+	}
+	reg.LabeledHistogram("http_request_us", `endpoint="submit"`, "latency by endpoint", h)
+
+	// Same name + label returns the existing counter, not a new registration.
+	reg.LabeledCounter("http_requests_total", `endpoint="submit"`, "requests by endpoint").Inc()
+	if reg.Len() != 3 {
+		t.Fatalf("registry has %d entries, want 3", reg.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := WritePromRegistry(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if n := strings.Count(got, "# HELP http_requests_total"); n != 1 {
+		t.Fatalf("HELP header rendered %d times, want 1:\n%s", n, got)
+	}
+	if n := strings.Count(got, "# TYPE http_requests_total"); n != 1 {
+		t.Fatalf("TYPE header rendered %d times, want 1:\n%s", n, got)
+	}
+	for _, want := range []string{
+		`http_requests_total{endpoint="submit"} 4`,
+		`http_requests_total{endpoint="evict"} 1`,
+		`http_request_us{endpoint="submit",quantile="0.50"}`,
+		`http_request_us_count{endpoint="submit"} 50`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("labeled prom output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestJSONLHistogramRoundTrip(t *testing.T) {
 	tr := buildAdversarialTrace()
 	var buf bytes.Buffer

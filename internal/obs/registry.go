@@ -43,7 +43,12 @@ func (c *Counter) Value() float64 {
 
 // entry is one registered metric.
 type entry struct {
-	name    string
+	name string
+	// label is the rendered inner label set (e.g. `endpoint="submit"`),
+	// empty for unlabeled metrics. Entries sharing a name but differing in
+	// label are distinct registrations; the Prometheus renderer groups them
+	// under one HELP/TYPE header.
+	label   string
 	help    string
 	kind    metricKind
 	counter *Counter
@@ -52,6 +57,14 @@ type entry struct {
 	dist    *metrics.Distribution
 	hist    *metrics.Histogram
 	heat    *metrics.Heatmap
+}
+
+// key is the registry identity: name alone, or name plus label set.
+func (e *entry) key() string {
+	if e.label == "" {
+		return e.name
+	}
+	return e.name + "{" + e.label + "}"
 }
 
 // Registry holds counters, gauges, and references to internal/metrics
@@ -68,15 +81,16 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]int)}
 }
 
-// add registers an entry, replacing an existing one with the same name (the
-// registration order of the first occurrence is kept, so re-wiring a metric
-// does not reorder snapshots).
+// add registers an entry, replacing an existing one with the same name and
+// label set (the registration order of the first occurrence is kept, so
+// re-wiring a metric does not reorder snapshots).
 func (r *Registry) add(e entry) {
-	if i, ok := r.byName[e.name]; ok {
+	k := e.key()
+	if i, ok := r.byName[k]; ok {
 		r.entries[i] = e
 		return
 	}
-	r.byName[e.name] = len(r.entries)
+	r.byName[k] = len(r.entries)
 	r.entries = append(r.entries, e)
 }
 
@@ -91,6 +105,23 @@ func (r *Registry) Counter(name, help string) *Counter {
 	}
 	c := &Counter{} //lint:allow(hotalloc) first registration of a name only; steady-state lookups return the cached counter above
 	r.add(entry{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// LabeledCounter registers (or returns the existing) counter under a
+// name + label-set pair. The label is the rendered inner pair list of the
+// Prometheus sample (e.g. `endpoint="submit"`); entries sharing a name are
+// grouped under one HELP/TYPE header by the snapshot renderer. Nil-safe.
+func (r *Registry) LabeledCounter(name, label, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := name + "{" + label + "}"
+	if i, ok := r.byName[k]; ok && r.entries[i].kind == kindCounter {
+		return r.entries[i].counter
+	}
+	c := &Counter{}
+	r.add(entry{name: name, label: label, help: help, kind: kindCounter, counter: c})
 	return c
 }
 
@@ -128,6 +159,15 @@ func (r *Registry) Histogram(name, help string, h *metrics.Histogram) {
 		return
 	}
 	r.add(entry{name: name, help: help, kind: kindHistogram, hist: h})
+}
+
+// LabeledHistogram registers a metrics.Histogram under a name + label-set
+// pair (see LabeledCounter for the label contract).
+func (r *Registry) LabeledHistogram(name, label, help string, h *metrics.Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.add(entry{name: name, label: label, help: help, kind: kindHistogram, hist: h})
 }
 
 // Heatmap registers a metrics.Heatmap; snapshots export its overall mean.

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// collectTee drains a subscriber channel into one byte stream, returning the
+// concatenation and the last cumulative drop count observed.
+func collectTee(header []byte, ch <-chan TeeBatch) ([]byte, int64) {
+	var out bytes.Buffer
+	out.Write(header)
+	var dropped int64
+	for batch := range ch {
+		out.Write(batch.Data)
+		dropped = batch.Dropped
+	}
+	return out.Bytes(), dropped
+}
+
+// TestTeeSinkByteIdentity is the tee's core contract: a subscriber attached
+// before the first event receives — across the header line and every
+// delivered batch — exactly the bytes a StreamSink writes for the same
+// trace, including the trailing registry metric lines flushed at Close.
+func TestTeeSinkByteIdentity(t *testing.T) {
+	var want bytes.Buffer
+	tee := NewTeeSink()
+	tr := NewWithSinks(nil, NewStreamSinkWriter(&want), tee)
+	_, _, ch := tee.Subscribe(64)
+
+	driveTrace(tr)
+	tee.Publish() // mid-run epoch seal: the remainder rides the Close batch
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscribe returned before Start ran, so fetch the header afterwards via
+	// a fresh throwaway subscriber to prove it is retained.
+	_, header, lateCh := tee.Subscribe(1)
+	if _, ok := <-lateCh; ok {
+		t.Fatal("subscriber attached after Close received a batch")
+	}
+	got, dropped := collectTee(header, ch)
+	if dropped != 0 {
+		t.Fatalf("undersized? subscriber dropped %d events", dropped)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("tee stream differs from StreamSink output:\n--- tee ---\n%s--- stream ---\n%s", got, want.String())
+	}
+}
+
+// TestTeeSinkDropsWhenSubscriberStalls pins the backpressure contract: a full
+// subscriber channel loses whole batches, never blocks Publish, and the loss
+// is visible both on the sink-wide counter and on the next delivered batch.
+func TestTeeSinkDropsWhenSubscriberStalls(t *testing.T) {
+	tee := NewTeeSink()
+	tr := NewWithSinks(nil, tee)
+	id, _, ch := tee.Subscribe(1)
+
+	emit := func(name string) {
+		tr.Instant("manager", "sched", name)
+		tee.Publish()
+	}
+	emit("e1") // fills the depth-1 channel
+	emit("e2") // dropped
+	emit("e3") // dropped
+	if got := tee.DroppedTotal(); got != 2 {
+		t.Fatalf("DroppedTotal = %d, want 2", got)
+	}
+	first := <-ch
+	if first.Dropped != 0 || first.Events != 1 {
+		t.Fatalf("first batch = %+v, want 1 event, 0 dropped at delivery time", first)
+	}
+	emit("e4")
+	second := <-ch
+	if second.Dropped != 2 {
+		t.Fatalf("post-stall batch carries Dropped=%d, want the cumulative 2", second.Dropped)
+	}
+	if !bytes.Contains(second.Data, []byte(`"e4"`)) {
+		t.Fatalf("post-stall batch missing the fresh event: %s", second.Data)
+	}
+
+	tee.Unsubscribe(id)
+	tee.Unsubscribe(id) // idempotent
+	if _, ok := <-ch; ok {
+		t.Fatal("unsubscribed channel still open")
+	}
+	if got := tee.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers = %d after unsubscribe, want 0", got)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTeeSinkIdleFastPath pins the zero-subscriber cost model: after the
+// first Publish, events emitted with nobody attached are not retained.
+func TestTeeSinkIdleFastPath(t *testing.T) {
+	tee := NewTeeSink()
+	tr := NewWithSinks(nil, tee)
+	tr.Instant("manager", "sched", "prologue")
+	tee.Publish() // arms the fast path; prologue batch evaporates (no subs)
+	tr.Instant("manager", "sched", "unheard")
+	if cur, _ := tee.RetainedBytes(); cur != 0 {
+		t.Fatalf("idle tee retained %d bytes after the first Publish", cur)
+	}
+
+	// A late subscriber still gets the header and everything from here on.
+	_, header, ch := tee.Subscribe(8)
+	if !bytes.Contains(header, []byte(`"trace"`)) {
+		t.Fatalf("late subscriber header = %q, want the trace header line", header)
+	}
+	tr.Instant("manager", "sched", "heard")
+	tee.Publish()
+	batch := <-ch
+	if !bytes.Contains(batch.Data, []byte(`"heard"`)) || bytes.Contains(batch.Data, []byte(`"unheard"`)) {
+		t.Fatalf("late subscriber batch = %s, want only post-attach events", batch.Data)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"quasar/internal/obs"
 )
@@ -14,10 +16,15 @@ import (
 // 0.0.4 is the text-format version scrapers negotiate on.
 const promContentType = "text/plain; version=0.0.4"
 
+// ndjsonContentType marks the newline-delimited JSON endpoints (the flight
+// recorder dump and the live trace stream): one complete JSON value per line.
+const ndjsonContentType = "application/x-ndjson"
+
 // routes builds the admission and introspection mux (Go 1.22 pattern
-// syntax). Admission endpoints only touch the journal; query endpoints only
-// take the engine lock — see the Server lock-order comment.
-func (s *Server) routes() *http.ServeMux {
+// syntax), wrapped in the RED-metrics middleware. Admission endpoints only
+// touch the journal; query endpoints only take the engine lock — see the
+// Server lock-order comment.
+func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	mux.HandleFunc("POST /v1/target/{id}", s.handleTarget)
@@ -25,11 +32,78 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/shutdown", s.handleShutdown)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/workloads/{id}", s.handleWorkload)
+	mux.HandleFunc("GET /v1/trace/stream", s.handleTraceStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlight)
+	mux.HandleFunc("GET /debug/requests", s.handleRequests)
+	mux.HandleFunc("GET /debug/requests/{id}", s.handleRequest)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
-	return mux
+	return s.redMiddleware(mux)
+}
+
+// endpointOf classifies a request path into the fixed telemetry endpoint
+// vocabulary. Go 1.22's http.Request carries no matched-pattern field, so the
+// classification is by hand; unknown paths land on "other" rather than
+// minting unbounded label values.
+func endpointOf(path string) string {
+	switch {
+	case path == "/v1/submit":
+		return "submit"
+	case strings.HasPrefix(path, "/v1/target/"):
+		return "target"
+	case strings.HasPrefix(path, "/v1/evict/"):
+		return "evict"
+	case path == "/v1/shutdown":
+		return "shutdown"
+	case path == "/v1/workloads":
+		return "workloads"
+	case strings.HasPrefix(path, "/v1/workloads/"):
+		return "workload"
+	case path == "/v1/trace/stream":
+		return "trace-stream"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/debug/flightrecorder":
+		return "flightrecorder"
+	case path == "/debug/requests" || strings.HasPrefix(path, "/debug/requests/"):
+		return "requests"
+	case path == "/statusz":
+		return "statusz"
+	default:
+		return "other"
+	}
+}
+
+// statusRecorder captures the response status for the RED metrics. It
+// forwards Flush so the trace-stream handler keeps its http.Flusher.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// redMiddleware records per-endpoint request counts, error counts, and
+// wall-clock handler latency for every response.
+func (s *Server) redMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sr, r)
+		s.tel.httpDone(endpointOf(r.URL.Path), sr.status, time.Since(start))
+	})
 }
 
 // apiError is the JSON error envelope.
@@ -48,27 +122,31 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// admitResponse acknowledges a journaled admission: the sequence number, the
-// epoch boundary it will apply at, and — for submits — the promised
-// workload ID.
+// admitResponse acknowledges a journaled admission: the request ID, the
+// sequence number, the epoch boundary it will apply at, and — for submits —
+// the promised workload ID.
 type admitResponse struct {
+	Req      string  `json:"req"`
 	Workload string  `json:"workload,omitempty"`
 	Seq      int     `json:"seq"`
 	ApplyAt  float64 `json:"apply_at"`
 }
 
 // admit journals the entry and writes the acknowledgement. 202: the request
-// is durable and scheduled, not yet applied.
-func (s *Server) admit(w http.ResponseWriter, e Entry) {
+// is durable and scheduled, not yet applied. t0 is the handler's telemetry
+// clock at entry — the span's decode/handler phases are measured from it.
+func (s *Server) admit(w http.ResponseWriter, t0 int64, e Entry) {
 	ent, err := s.j.Admit(e)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "admission failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, admitResponse{Workload: ent.Workload, Seq: ent.Seq, ApplyAt: ent.At})
+	writeJSON(w, http.StatusAccepted, admitResponse{Req: ent.Req, Workload: ent.Workload, Seq: ent.Seq, ApplyAt: ent.At})
+	s.tel.received(ent.Seq, t0, telNow())
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t0 := telNow()
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -79,10 +157,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.admit(w, Entry{Kind: KindSubmit, Submit: &req})
+	s.admit(w, t0, Entry{Kind: KindSubmit, Submit: &req})
 }
 
 func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
+	t0 := telNow()
 	id := r.PathValue("id")
 	var req TargetUpdate
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -95,11 +174,11 @@ func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.admit(w, Entry{Kind: KindTarget, Workload: id, Target: &req})
+	s.admit(w, t0, Entry{Kind: KindTarget, Workload: id, Target: &req})
 }
 
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
-	s.admit(w, Entry{Kind: KindEvict, Workload: r.PathValue("id")})
+	s.admit(w, telNow(), Entry{Kind: KindEvict, Workload: r.PathValue("id")})
 }
 
 func (s *Server) handleShutdown(w http.ResponseWriter, _ *http.Request) {
@@ -255,8 +334,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		httpError(w, http.StatusInternalServerError, "rendering metrics: %v", err)
 		return
 	}
+	// The telemetry plane renders after the sim-plane snapshot, also into the
+	// buffer: Telemetry.mu must never be held across a slow client write.
+	buf := bytes.NewBuffer(data)
+	if err := s.tel.WriteProm(buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "rendering telemetry metrics: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", promContentType)
-	_, _ = w.Write(data)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // flightWindow copies the flight recorder's retained event window under the
@@ -269,8 +355,111 @@ func (s *Server) flightWindow() (obs.Header, []obs.Event) {
 
 func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
 	h, events := s.flightWindow()
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", ndjsonContentType)
 	_ = obs.WriteEventsJSONL(w, &h, events) // best effort: client may disconnect mid-dump
+}
+
+// requestsResponse is the GET /debug/requests envelope.
+type requestsResponse struct {
+	Requests []RequestSpan `json:"requests"`
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+		limit = v
+	}
+	spans := s.tel.Recent(limit)
+	if spans == nil {
+		spans = []RequestSpan{}
+	}
+	writeJSON(w, http.StatusOK, requestsResponse{Requests: spans})
+}
+
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sp, ok := s.tel.Span(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown or evicted request %s (ring holds the most recent %d)", id, len(s.tel.spans))
+		return
+	}
+	writeJSON(w, http.StatusOK, sp)
+}
+
+// handleTraceStream serves the live deterministic trace as NDJSON: the trace
+// header line, then every event as its epoch seals. The subscription buffer
+// is bounded; when this client falls behind, whole epochs are dropped and a
+// {"stream_dropped":N} control line (cumulative count, seq 0 so it can never
+// be mistaken for an event) precedes the next delivered batch. ?n= stops
+// after that many events — handy for smoke tests. On shutdown the stream
+// ends at the stop signal, before finalize's last epoch: the HTTP drain must
+// complete before that epoch runs (raced admissions), so the final events
+// and the registry metric tail are the trace file's, not the live stream's.
+func (s *Server) handleTraceStream(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		limit = v
+	}
+	id, header, ch := s.tee.Subscribe(16)
+	defer s.tee.Unsubscribe(id)
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if len(header) > 0 {
+		_, _ = w.Write(header)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sent := 0
+	var lastDropped int64
+	deliver := func(batch obs.TeeBatch) bool {
+		if batch.Dropped > lastDropped {
+			lastDropped = batch.Dropped
+			_, _ = fmt.Fprintf(w, "{\"seq\":0,\"stream_dropped\":%d}\n", batch.Dropped)
+		}
+		if _, err := w.Write(batch.Data); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		sent += batch.Events
+		return limit == 0 || sent < limit
+	}
+	for {
+		select {
+		case batch, ok := <-ch:
+			if !ok || !deliver(batch) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			// The daemon is shutting down and finalize is waiting for this
+			// handler to drain; deliver what is already queued and exit.
+			for {
+				select {
+				case batch, ok := <-ch:
+					if !ok || !deliver(batch) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // statusz is the daemon's introspection snapshot.

@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"quasar/internal/loadgen"
 	"quasar/internal/workload"
@@ -156,11 +157,15 @@ func (t *TargetUpdate) validate() error {
 // Entry is one journaled admission. Seq is the journal sequence number
 // (from 1, contiguous), At the epoch boundary the entry applies at, and
 // Workload the deterministic workload ID the admission front end promised —
-// predicted for submits, caller-named for targets and evictions.
+// predicted for submits, caller-named for targets and evictions. Req is the
+// request ID minted at admission; journaling it is what makes the wall-plane
+// span ↔ sim-plane decision linkage reproducible — a replay reads the same
+// Req and emits it on the same serve.apply instant.
 type Entry struct {
 	Seq      int            `json:"seq"`
 	At       float64        `json:"at"`
 	Kind     string         `json:"kind"`
+	Req      string         `json:"req,omitempty"`
 	Workload string         `json:"workload,omitempty"`
 	Submit   *SubmitRequest `json:"submit,omitempty"`
 	Target   *TargetUpdate  `json:"target,omitempty"`
@@ -190,6 +195,25 @@ type Journal struct {
 	open        float64 // epoch boundary currently accepting admissions
 	nextOrdinal int     // universe counter the next submit will consume
 	pending     []Entry
+
+	// bytesOut counts bytes reaching the destination writer (advanced at
+	// flush); atomic so the journal_bytes gauge never takes j.mu.
+	bytesOut atomic.Int64
+	// tel, when set, receives wall-clock admission timings. It is recorded
+	// into only AFTER j.mu is released — Telemetry.mu is a strict leaf lock.
+	tel *Telemetry
+}
+
+// countingWriter advances an atomic byte counter as it forwards writes.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // CreateJournal creates the journal file at path, writes and flushes the
@@ -219,7 +243,7 @@ func NewJournalWriter(w io.Writer, cfg Config, nextOrdinal int) *Journal {
 func newJournal(w io.Writer, cfg Config, nextOrdinal int) *Journal {
 	cfg = cfg.withDefaults()
 	j := &Journal{nextOrdinal: nextOrdinal, open: cfg.EpochSecs}
-	j.bw = bufio.NewWriterSize(w, 1<<16)
+	j.bw = bufio.NewWriterSize(&countingWriter{w: w, n: &j.bytesOut}, 1<<16)
 	j.enc = json.NewEncoder(j.bw)
 	if err := j.enc.Encode(&journalHeader{Journal: journalMagic, Config: cfg}); err != nil {
 		j.err = err
@@ -230,13 +254,33 @@ func newJournal(w io.Writer, cfg Config, nextOrdinal int) *Journal {
 }
 
 // Admit appends one entry, stamping its sequence number, the open epoch
-// boundary, and — for submits — the promised workload ID. The entry is
-// encoded under the lock so file order always equals sequence order; it
-// becomes durable (flushed) at the next seal. The returned entry carries the
-// stamps for the HTTP response.
+// boundary, the request ID, and — for submits — the promised workload ID.
+// The entry is encoded under the lock so file order always equals sequence
+// order; it becomes durable (flushed) at the next seal. The returned entry
+// carries the stamps for the HTTP response. When telemetry is attached, the
+// lock wait and hold are measured here and recorded after the lock is
+// released (Telemetry.mu is a leaf lock; see telemetry.go).
 func (j *Journal) Admit(e Entry) (Entry, error) {
+	tel := j.tel
+	var arriveNS int64
+	if tel != nil {
+		arriveNS = telNow()
+	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	var lockedNS int64
+	if tel != nil {
+		lockedNS = telNow()
+	}
+	ent, err := j.admitLocked(e)
+	j.mu.Unlock()
+	if tel != nil && err == nil {
+		tel.admitted(&ent, arriveNS, lockedNS, telNow())
+	}
+	return ent, err
+}
+
+// admitLocked is Admit's stamping and encoding body (j.mu held).
+func (j *Journal) admitLocked(e Entry) (Entry, error) {
 	if j.closed {
 		return e, errJournalClosed
 	}
@@ -246,6 +290,7 @@ func (j *Journal) Admit(e Entry) (Entry, error) {
 	j.nextSeq++
 	e.Seq = j.nextSeq
 	e.At = j.open
+	e.Req = requestID(e.Seq)
 	if e.Kind == KindSubmit {
 		e.Workload = predictID(typeByName[e.Submit.Type], j.nextOrdinal)
 		j.nextOrdinal++
@@ -261,16 +306,26 @@ func (j *Journal) Admit(e Entry) (Entry, error) {
 // seal closes the open boundary: it returns the batch admitted against it,
 // opens nextOpen for subsequent admissions, and flushes the file so a
 // tailing standby sees every entry of the sealed boundary (group commit).
-func (j *Journal) seal(nextOpen float64) ([]Entry, error) {
+// flushNS is the wall-clock duration of the group-commit flush when
+// telemetry is attached (0 otherwise).
+func (j *Journal) seal(nextOpen float64) (batch []Entry, flushNS int64, err error) {
+	tel := j.tel
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	batch := j.pending
+	batch = j.pending
 	j.pending = j.pending[len(j.pending):]
 	j.open = nextOpen
+	var t0 int64
+	if tel != nil {
+		t0 = telNow()
+	}
 	if err := j.bw.Flush(); err != nil && j.err == nil {
 		j.err = err
 	}
-	return batch, j.err
+	if tel != nil {
+		flushNS = telNow() - t0
+	}
+	return batch, flushNS, j.err
 }
 
 // end writes the end marker at the final boundary, flushes, and closes the

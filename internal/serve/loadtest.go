@@ -214,19 +214,25 @@ func (c BenchConfig) withDefaults() BenchConfig {
 
 // BenchResult is the committed BENCH_serve.json shape.
 type BenchResult struct {
-	Transport       string  `json:"transport"`
-	Quick           bool    `json:"quick"`
-	Clients         int     `json:"clients"`
-	WallSecs        float64 `json:"wall_secs"`
-	Requests        int     `json:"requests"`
-	ReqsPerSec      float64 `json:"reqs_per_sec"`
-	AdmitP50US      float64 `json:"admit_p50_us"`
-	AdmitP99US      float64 `json:"admit_p99_us"`
-	DecisionsPerSec float64 `json:"decisions_per_sec"`
-	FailoverGapMS   float64 `json:"failover_gap_ms"`
-	TraceMatch      bool    `json:"trace_match"`
-	CPUs            int     `json:"cpus"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Transport  string  `json:"transport"`
+	Quick      bool    `json:"quick"`
+	Clients    int     `json:"clients"`
+	WallSecs   float64 `json:"wall_secs"`
+	Requests   int     `json:"requests"`
+	ReqsPerSec float64 `json:"reqs_per_sec"`
+	AdmitP50US float64 `json:"admit_p50_us"`
+	AdmitP99US float64 `json:"admit_p99_us"`
+	// ServerAdmitP50US/P99US are the server-side handler-latency percentiles
+	// for the submit endpoint, from the daemon's own RED histograms. They
+	// measure inside the client-observed round trip, so server ≤ client is
+	// the cross-check Check gates on.
+	ServerAdmitP50US float64 `json:"server_admit_p50_us"`
+	ServerAdmitP99US float64 `json:"server_admit_p99_us"`
+	DecisionsPerSec  float64 `json:"decisions_per_sec"`
+	FailoverGapMS    float64 `json:"failover_gap_ms"`
+	TraceMatch       bool    `json:"trace_match"`
+	CPUs             int     `json:"cpus"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
 }
 
 // ServeBench runs the two benchmark phases: a closed-loop rate phase against
@@ -283,6 +289,9 @@ func ServeBench(cfg BenchConfig) (*BenchResult, error) {
 	res.ReqsPerSec = float64(stats.Requests) / stats.WallSecs
 	res.AdmitP50US = stats.AdmitP50US
 	res.AdmitP99US = stats.AdmitP99US
+	sp := srv.tel.endpointPercentiles("submit", 50, 99)
+	res.ServerAdmitP50US = sp[0]
+	res.ServerAdmitP99US = sp[1]
 	res.DecisionsPerSec = float64(applied) / stats.WallSecs
 
 	// Phase 2: warm failover gap and trace identity.
@@ -383,6 +392,16 @@ func (r *BenchResult) Check() error {
 		if r.AdmitP99US <= 0 {
 			errs = append(errs, "no admission latency percentiles recorded")
 		}
+		if r.ServerAdmitP99US <= 0 {
+			errs = append(errs, "no server-side admission latency percentiles recorded")
+		}
+		// The server-side measurement nests inside the client round trip, so
+		// it must not exceed the client p99 (with slack for histogram
+		// quantization and the tails being sampled differently).
+		if r.ServerAdmitP99US > 0 && r.AdmitP99US > 0 && r.ServerAdmitP99US > 1.5*r.AdmitP99US {
+			errs = append(errs, fmt.Sprintf("server-side admission p99 %.0fus exceeds client-side p99 %.0fus by more than 1.5x",
+				r.ServerAdmitP99US, r.AdmitP99US))
+		}
 	}
 	if len(errs) > 0 {
 		return fmt.Errorf("serve bench: %s", errs[0])
@@ -400,6 +419,7 @@ func (r *BenchResult) Print(w io.Writer) {
 		profile, r.Transport, r.Clients, r.WallSecs, r.CPUs)
 	fprintf(w, "  requests      %d (%.0f req/s)\n", r.Requests, r.ReqsPerSec)
 	fprintf(w, "  admission     p50 %.0fus  p99 %.0fus\n", r.AdmitP50US, r.AdmitP99US)
+	fprintf(w, "  server-side   p50 %.0fus  p99 %.0fus (submit handler)\n", r.ServerAdmitP50US, r.ServerAdmitP99US)
 	fprintf(w, "  decisions     %.0f applied/s\n", r.DecisionsPerSec)
 	fprintf(w, "  failover gap  %.1fms (trace match: %v)\n", r.FailoverGapMS, r.TraceMatch)
 }

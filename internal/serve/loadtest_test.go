@@ -53,4 +53,7 @@ func TestServeBaselineFile(t *testing.T) {
 	if base.AdmitP99US <= 0 || base.DecisionsPerSec <= 0 {
 		t.Errorf("committed baseline missing admission p99 or decisions/sec: %+v", base)
 	}
+	if base.ServerAdmitP50US <= 0 || base.ServerAdmitP99US <= 0 {
+		t.Errorf("committed baseline missing server-side admission percentiles: %+v", base)
+	}
 }

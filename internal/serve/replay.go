@@ -319,9 +319,10 @@ func BuildJournal(path string, cfg Config, endAt float64, script []ScriptEntry) 
 			_ = f.Close()
 			return nil, fmt.Errorf("serve: script entry %d selects no kind", i)
 		}
-		// Route through Admit so stamping (seq, boundary, promised ID) is
-		// the same code the live server runs; seal moves the open boundary.
-		if _, err := j.seal(b); err != nil {
+		// Route through Admit so stamping (seq, boundary, request ID,
+		// promised workload ID) is the same code the live server runs; seal
+		// moves the open boundary.
+		if _, _, err := j.seal(b); err != nil {
 			_ = f.Close()
 			return nil, err
 		}

@@ -36,6 +36,9 @@ type Options struct {
 	// HorizonSecs, when positive, ends the run at that sim time; 0 runs
 	// until Shutdown.
 	HorizonSecs float64
+	// RequestLog is the capacity of the bounded request-span ring behind
+	// GET /debug/requests (default 1024, minimum 16).
+	RequestLog int
 }
 
 // Server is the live daemon: an HTTP admission front end over a journal,
@@ -54,6 +57,8 @@ type Server struct {
 	w        *world
 	j        *Journal
 	stream   *obs.StreamSink
+	tee      *obs.TeeSink
+	tel      *Telemetry
 
 	ln      net.Listener
 	httpSrv *http.Server
@@ -68,6 +73,10 @@ type Server struct {
 	appliedN   int
 	applyErr   error
 	started    time.Time
+	// applyStartNS is the telemetry-clock reading just before the current
+	// entry's apply closure runs; same-boundary closures execute sequentially
+	// under engineMu, so a plain field suffices.
+	applyStartNS int64
 }
 
 // New builds the world, creates the journal, and binds the listener. The
@@ -87,6 +96,10 @@ func New(opts Options) (*Server, error) {
 		}
 		extra = append(extra, stream)
 	}
+	// The tee feeds GET /v1/trace/stream; it observes the same sequenced
+	// event stream as the trace file and publishes after every sealed epoch.
+	tee := obs.NewTeeSink()
+	extra = append(extra, tee)
 	fail := func(err error) (*Server, error) {
 		if stream != nil {
 			stream.Discard()
@@ -106,9 +119,17 @@ func New(opts Options) (*Server, error) {
 		return fail(err)
 	}
 	s := &Server{
-		opts: opts, cfg: cfg, w: w, j: j, stream: stream, ln: ln,
+		opts: opts, cfg: cfg, w: w, j: j, stream: stream, tee: tee, ln: ln,
 		stop:  make(chan struct{}),
 		nextB: cfg.EpochSecs, snapDue: opts.SnapshotEverySecs,
+	}
+	if opts.RequestLog <= 0 {
+		opts.RequestLog = 1024
+	}
+	s.tel = newTelemetry(opts.RequestLog, &j.bytesOut, tee.Subscribers, tee.DroppedTotal)
+	j.tel = s.tel
+	w.onApplied = func(e *Entry, applyErr string) {
+		s.tel.applied(e, telNow()-s.applyStartNS, applyErr)
 	}
 	s.httpSrv = &http.Server{Handler: s.routes(), ReadHeaderTimeout: 5 * time.Second}
 	return s, nil
@@ -132,6 +153,10 @@ func (s *Server) Serve() error {
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- s.httpSrv.Serve(s.ln) }()
 	paceErr := s.pace()
+	// Close the stop channel on every exit path (horizon end, pacer error),
+	// not just explicit Shutdown: long-lived handlers — /v1/trace/stream —
+	// select on it, and finalize's HTTP drain waits for them.
+	s.Shutdown()
 	finErr := s.finalize()
 	herr := <-httpErr
 	if errors.Is(herr, http.ErrServerClosed) {
@@ -171,6 +196,9 @@ func (s *Server) pace() error {
 			continue
 		}
 		target := s.started.Add(time.Duration(boundary / s.opts.Warp * float64(time.Second)))
+		// A positive gap here means the epoch finished after its wall-clock
+		// target — the pacer is running behind the warp.
+		s.tel.pacerLag(time.Since(target))
 		for {
 			d := time.Until(target)
 			if d <= 0 {
@@ -209,19 +237,22 @@ func (s *Server) advance() (boundary float64, batch int, err error) {
 // performs the identical schedule/run sequence per boundary, which is the
 // whole byte-identity argument.
 func (s *Server) epochStep(boundary float64) (int, error) {
-	batch, err := s.j.seal(boundary + s.cfg.EpochSecs)
+	batch, flushNS, err := s.j.seal(boundary + s.cfg.EpochSecs)
 	if err != nil {
 		return 0, err
 	}
+	s.tel.sealed(batch, telNow(), flushNS)
 	for i := range batch {
 		e := batch[i]
 		s.w.rt.Eng.Schedule(boundary, func() {
+			s.applyStartNS = telNow()
 			if err := s.w.apply(&e); err != nil && s.applyErr == nil {
 				s.applyErr = err
 			}
 		})
 	}
 	s.w.rt.Eng.Run(boundary)
+	s.tee.Publish()
 	if s.applyErr != nil {
 		return len(batch), s.applyErr
 	}
@@ -234,6 +265,7 @@ func (s *Server) epochStep(boundary float64) (int, error) {
 			return len(batch), err
 		}
 		s.snapDue += s.opts.SnapshotEverySecs
+		s.tel.snapshotLanded()
 	}
 	return len(batch), nil
 }
@@ -266,6 +298,9 @@ func (s *Server) finalize() error {
 	var snapErr error
 	if s.opts.SnapshotPath != "" {
 		snapErr = s.writeSnapshot()
+		if snapErr == nil {
+			s.tel.snapshotLanded()
+		}
 	}
 	s.w.rt.Stop()
 	cerr := s.w.tracer.Close()

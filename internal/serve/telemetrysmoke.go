@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// TelemetrySmoke exercises the wall-clock telemetry plane end to end, the way
+// the CI telemetry lane does: start a live daemon, tail GET /v1/trace/stream
+// while admissions flow, scrape /metrics for the RED and operational series,
+// query /debug/requests for the span of a known request, and — the
+// correlation check — assert that every request ID the admission API returned
+// shows up on a serve.apply event in the live stream.
+func TelemetrySmoke(out io.Writer) error {
+	dir, err := os.MkdirTemp("", "quasar-telemetry-smoke-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	srv, err := New(Options{
+		Addr:         "127.0.0.1:0",
+		Config:       Config{Servers: 10, Seed: 7},
+		JournalPath:  filepath.Join(dir, "run.journal"),
+		SnapshotPath: filepath.Join(dir, "run.snapshot.json"), SnapshotEverySecs: 5,
+		Warp: 200,
+	})
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	base := "http://" + srv.Addr()
+	client := &http.Client{Timeout: 30 * time.Second}
+	stop := func() {
+		srv.Shutdown()
+		<-serveErr
+	}
+
+	// Tail the live stream concurrently with the admissions below. Control
+	// lines, the header, and the trailing metric lines all carry seq 0 —
+	// only real events count.
+	type streamResult struct {
+		events    int
+		applyReqs map[string]bool
+		err       error
+	}
+	streamDone := make(chan streamResult, 1)
+	go func() {
+		res := streamResult{applyReqs: map[string]bool{}}
+		resp, err := client.Get(base + "/v1/trace/stream")
+		if err != nil {
+			res.err = err
+			streamDone <- res
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			var line struct {
+				Seq  uint64 `json:"seq"`
+				Cat  string `json:"cat"`
+				Name string `json:"name"`
+				Args struct {
+					Req string `json:"req"`
+				} `json:"args"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) != nil || line.Seq == 0 {
+				continue
+			}
+			res.events++
+			if line.Cat == "serve" && line.Name == "serve.apply" && line.Args.Req != "" {
+				res.applyReqs[line.Args.Req] = true
+			}
+		}
+		res.err = sc.Err()
+		streamDone <- res
+	}()
+
+	// Admissions whose request IDs the stream must echo back.
+	submitBody, err := json.Marshal(SubmitRequest{Type: "single-node", Family: -1, BestEffort: true})
+	if err != nil {
+		stop()
+		return err
+	}
+	var reqs []string
+	for i := 0; i < 8; i++ {
+		resp, err := client.Post(base+"/v1/submit", "application/json", bytes.NewReader(submitBody))
+		if err != nil {
+			stop()
+			return err
+		}
+		var ack admitResponse
+		err = json.NewDecoder(resp.Body).Decode(&ack)
+		_ = resp.Body.Close()
+		if err != nil {
+			stop()
+			return err
+		}
+		if resp.StatusCode != http.StatusAccepted || ack.Req == "" {
+			stop()
+			return fmt.Errorf("telemetry-smoke: submit %d: status %d, req %q", i, resp.StatusCode, ack.Req)
+		}
+		reqs = append(reqs, ack.Req)
+		time.Sleep(3 * time.Millisecond)
+	}
+
+	// Wait for the last admission's span to close, then fetch it by ID.
+	var span RequestSpan
+	last := reqs[len(reqs)-1]
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(base + "/debug/requests/" + last)
+		if err != nil {
+			stop()
+			return err
+		}
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&span)
+		_ = resp.Body.Close()
+		if code == http.StatusOK && err == nil && span.Outcome == "applied" {
+			break
+		}
+		if time.Now().After(deadline) {
+			stop()
+			return fmt.Errorf("telemetry-smoke: span %s never reached outcome=applied (status %d, outcome %q)", last, code, span.Outcome)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if span.Req != last || span.HandlerUS <= 0 || span.AdmitToDecisionUS <= 0 {
+		stop()
+		return fmt.Errorf("telemetry-smoke: span %s incomplete: %+v", last, span)
+	}
+
+	// The ring listing must cover every admission made above.
+	resp, err := client.Get(base + "/debug/requests?limit=10")
+	if err != nil {
+		stop()
+		return err
+	}
+	var listing requestsResponse
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	_ = resp.Body.Close()
+	if err != nil {
+		stop()
+		return err
+	}
+	if len(listing.Requests) < len(reqs) {
+		stop()
+		return fmt.Errorf("telemetry-smoke: /debug/requests returned %d spans, want >= %d", len(listing.Requests), len(reqs))
+	}
+
+	// /metrics must expose the RED series and the operational gauges, after
+	// the sim-plane snapshot.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		stop()
+		return err
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		stop()
+		return err
+	}
+	for _, want := range []string{
+		`serve_http_requests_total{endpoint="submit"}`,
+		`serve_http_request_us{endpoint="submit",quantile="0.99"}`,
+		"serve_journal_flush_us",
+		"serve_epoch_batch_size",
+		"serve_pacer_lag_us",
+		"journal_bytes",
+		"applied_seq",
+		"snapshot_age_seconds",
+		"serve_trace_subscribers",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			stop()
+			return fmt.Errorf("telemetry-smoke: /metrics missing %q", want)
+		}
+	}
+
+	stop()
+	sr := <-streamDone
+	if sr.err != nil {
+		return fmt.Errorf("telemetry-smoke: stream reader: %w", sr.err)
+	}
+	if sr.events < 16 {
+		return fmt.Errorf("telemetry-smoke: stream delivered only %d events", sr.events)
+	}
+	for _, r := range reqs {
+		if !sr.applyReqs[r] {
+			return fmt.Errorf("telemetry-smoke: stream never carried serve.apply for request %s", r)
+		}
+	}
+	fprintf(out, "telemetry-smoke: %d admissions correlated across API, /debug/requests, and %d streamed events\n",
+		len(reqs), sr.events)
+	fprintf(out, "telemetry-smoke: PASS\n")
+	return nil
+}

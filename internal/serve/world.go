@@ -90,6 +90,10 @@ type world struct {
 	tracer *obs.Tracer
 	ring   *obs.RingSink
 	inj    *chaos.Injector
+	// onApplied, when set, observes every applied entry's outcome. The live
+	// server uses it to close wall-clock request spans; Replay leaves it nil,
+	// and it feeds nothing back into the deterministic stream.
+	onApplied func(e *Entry, applyErr string)
 }
 
 // quasarOptions is the manager configuration shared by world construction
@@ -238,8 +242,14 @@ func (w *world) apply(e *Entry) error {
 
 // applied emits the per-entry trace instant — part of the deterministic
 // stream, so a replayed trace proves every journal entry was applied at the
-// same boundary with the same outcome.
+// same boundary with the same outcome. The req arg comes from the journal
+// entry, so live run and replay emit the identical value (and pre-Req
+// journals, which carry no request IDs, replay byte-identically to their
+// original traces).
 func (w *world) applied(e *Entry, applyErr string) {
+	if w.onApplied != nil {
+		w.onApplied(e, applyErr)
+	}
 	if !w.tracer.Enabled() {
 		return
 	}
@@ -247,6 +257,9 @@ func (w *world) applied(e *Entry, applyErr string) {
 		{Key: "seq", Val: e.Seq},
 		{Key: "kind", Val: e.Kind},
 		{Key: "workload", Val: e.Workload},
+	}
+	if e.Req != "" {
+		args = append(args, obs.Arg{Key: "req", Val: e.Req})
 	}
 	name := "serve.apply"
 	if applyErr != "" {
